@@ -1,0 +1,325 @@
+package masort
+
+// One benchmark per table and figure of the paper's evaluation (Section 5),
+// plus the Section 6 join experiment, the design ablations, and real-engine
+// micro-benchmarks. Each experiment bench runs the corresponding
+// internal/experiments harness at reduced scale (shape-preserving) and
+// reports the headline series as custom metrics; the full-scale numbers are
+// produced by cmd/masim (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/memadapt/masort/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Sorts: 2, Scale: 0.25, Workers: 4}
+}
+
+// metric parses a table cell as float (benchmark metric plumbing). Cells may
+// carry a confidence interval ("268.8 ±12.3"): the mean is the first token.
+func metric(t experiments.Table, row, col int) float64 {
+	cell := t.Rows[row][col]
+	if i := strings.IndexByte(cell, ' '); i > 0 {
+		cell = cell[:i]
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func runExp(b *testing.B, fn func(experiments.Options) ([]experiments.Table, error)) []experiments.Table {
+	b.Helper()
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = fn(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkTable5_BlockWriteSize regenerates Table 5: per-page disk access
+// time versus replacement-selection block size N.
+func BenchmarkTable5_BlockWriteSize(b *testing.B) {
+	ts := runExp(b, experiments.Table5)
+	b.ReportMetric(metric(ts[0], 0, 1), "ms/page-N1")
+	b.ReportMetric(metric(ts[0], 3, 1), "ms/page-N6")
+}
+
+// BenchmarkFigure5_NoFluctuation regenerates Figure 5: response time vs M
+// for the six method x merging-strategy combinations, no fluctuation.
+func BenchmarkFigure5_NoFluctuation(b *testing.B) {
+	ts := runExp(b, experiments.NoFluctuation)
+	fig5 := ts[0]
+	last := len(fig5.Rows) - 1
+	b.ReportMetric(metric(fig5, 0, 2), "s-quickOpt-smallM")
+	b.ReportMetric(metric(fig5, last, 2), "s-quickOpt-bigM")
+	b.ReportMetric(metric(fig5, 0, 6), "s-repl6Opt-smallM")
+}
+
+// BenchmarkTable6_SplitPhase regenerates Table 6: runs, merge steps and
+// split duration per in-memory method vs M.
+func BenchmarkTable6_SplitPhase(b *testing.B) {
+	ts := runExp(b, experiments.NoFluctuation)
+	t6 := ts[1]
+	b.ReportMetric(metric(t6, 0, 1), "runs-quick-smallM")
+	b.ReportMetric(metric(t6, 3, 1), "runs-repl1-smallM")
+	b.ReportMetric(metric(t6, 6, 1), "runs-repl6-smallM")
+}
+
+// BenchmarkFigure6_Baseline regenerates Figure 6 and Tables 7-9: all 18
+// algorithms at the baseline point.
+func BenchmarkFigure6_Baseline(b *testing.B) {
+	ts := runExp(b, experiments.Baseline)
+	t7 := ts[1]
+	// quick,naive row: susp / page / split response times.
+	b.ReportMetric(metric(t7, 0, 1), "s-susp")
+	b.ReportMetric(metric(t7, 0, 2), "s-page")
+	b.ReportMetric(metric(t7, 0, 3), "s-split")
+}
+
+// BenchmarkTable8_SplitDelays regenerates Table 8's split-phase delays
+// (method responsiveness to memory requests).
+func BenchmarkTable8_SplitDelays(b *testing.B) {
+	ts := runExp(b, experiments.Baseline)
+	t8 := ts[2]
+	b.ReportMetric(metric(t8, 0, 3), "ms-delay-quick")
+	b.ReportMetric(metric(t8, 2, 3), "ms-delay-repl6")
+}
+
+// BenchmarkTable9_MergingStrategies regenerates Table 9: naive vs opt per
+// adaptation strategy.
+func BenchmarkTable9_MergingStrategies(b *testing.B) {
+	ts := runExp(b, experiments.Baseline)
+	t9 := ts[3]
+	b.ReportMetric(metric(t9, 0, 1), "s-quickSusp-naive")
+	b.ReportMetric(metric(t9, 0, 2), "s-quickSusp-opt")
+}
+
+// BenchmarkFigure7_MemoryRatio regenerates Figure 7: repl6 response vs M
+// under page and split.
+func BenchmarkFigure7_MemoryRatio(b *testing.B) {
+	ts := runExp(b, experiments.Ratio)
+	f7 := ts[0]
+	b.ReportMetric(metric(f7, 0, 2), "s-page-smallM")
+	b.ReportMetric(metric(f7, 0, 4), "s-split-smallM")
+}
+
+// BenchmarkFigure8_SplitMethods regenerates Figure 8: quick vs repl6 under
+// dynamic splitting.
+func BenchmarkFigure8_SplitMethods(b *testing.B) {
+	ts := runExp(b, experiments.Ratio)
+	f8 := ts[1]
+	b.ReportMetric(metric(f8, 0, 2), "s-quickOpt-smallM")
+	b.ReportMetric(metric(f8, 0, 4), "s-repl6Opt-smallM")
+}
+
+// BenchmarkFigure9_SplitDelays regenerates Figure 9: mean/max split-phase
+// delays vs M for quick and repl6.
+func BenchmarkFigure9_SplitDelays(b *testing.B) {
+	ts := runExp(b, experiments.Ratio)
+	f9 := ts[2]
+	last := len(f9.Rows) - 1
+	b.ReportMetric(metric(f9, last, 1), "ms-quick-bigM")
+	b.ReportMetric(metric(f9, last, 3), "ms-repl6-bigM")
+}
+
+// BenchmarkFigure10_Magnitude regenerates Figure 10: repl6 under large
+// memory fluctuations, page vs split.
+func BenchmarkFigure10_Magnitude(b *testing.B) {
+	ts := runExp(b, experiments.Magnitude)
+	f10 := ts[0]
+	b.ReportMetric(metric(f10, 0, 2), "s-page-smallM")
+	b.ReportMetric(metric(f10, 0, 4), "s-split-smallM")
+}
+
+// BenchmarkFigure11_MagnitudeMethods regenerates Figure 11: quick vs repl6
+// under large fluctuations with dynamic splitting.
+func BenchmarkFigure11_MagnitudeMethods(b *testing.B) {
+	ts := runExp(b, experiments.Magnitude)
+	f11 := ts[1]
+	b.ReportMetric(metric(f11, 0, 2), "s-quickOpt-smallM")
+	b.ReportMetric(metric(f11, 0, 4), "s-repl6Opt-smallM")
+}
+
+// BenchmarkFigure12_RateQuick regenerates Figure 12: quick under fast vs
+// slow fluctuation rates.
+func BenchmarkFigure12_RateQuick(b *testing.B) {
+	ts := runExp(b, experiments.Rate)
+	f12 := ts[0]
+	b.ReportMetric(metric(f12, 0, 3), "s-split-fast-smallM")
+	b.ReportMetric(metric(f12, 0, 4), "s-split-slow-smallM")
+}
+
+// BenchmarkFigure13_RateRepl6 regenerates Figure 13: repl6 under fast vs
+// slow fluctuation rates.
+func BenchmarkFigure13_RateRepl6(b *testing.B) {
+	ts := runExp(b, experiments.Rate)
+	f13 := ts[1]
+	b.ReportMetric(metric(f13, 0, 3), "s-split-fast-smallM")
+	b.ReportMetric(metric(f13, 0, 4), "s-split-slow-smallM")
+}
+
+// BenchmarkJoin_Baseline regenerates the Section 6 experiment:
+// memory-adaptive sort-merge joins under baseline fluctuation.
+func BenchmarkJoin_Baseline(b *testing.B) {
+	ts := runExp(b, experiments.Join)
+	t := ts[0]
+	b.ReportMetric(metric(t, 0, 1), "s-quickSusp")
+	b.ReportMetric(metric(t, 5, 1), "s-repl6Split")
+}
+
+// BenchmarkConcurrent_Multiprogramming runs the extension experiment:
+// several sorts over a shared buffer pool (paper §1 motivation).
+func BenchmarkConcurrent_Multiprogramming(b *testing.B) {
+	ts := runExp(b, experiments.Concurrent)
+	t := ts[0]
+	b.ReportMetric(metric(t, 2, 2), "sorts/h-susp-k4")
+	b.ReportMetric(metric(t, 2, 6), "sorts/h-split-k4")
+}
+
+// BenchmarkDisks_Array runs the extension experiment: response vs #disks.
+func BenchmarkDisks_Array(b *testing.B) {
+	ts := runExp(b, experiments.Disks)
+	t := ts[0]
+	b.ReportMetric(metric(t, 0, 1), "s-1disk")
+	b.ReportMetric(metric(t, 3, 1), "s-8disks")
+}
+
+// BenchmarkAblation_DesignChoices quantifies shortest-first selection,
+// combining, and the adaptive block I/O extension (paper §7).
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	ts := runExp(b, experiments.Ablation)
+	t := ts[0]
+	b.ReportMetric(metric(t, 0, 1), "s-paper")
+	b.ReportMetric(metric(t, 1, 1), "s-noShortestFirst")
+	b.ReportMetric(metric(t, 2, 1), "s-noCombine")
+	b.ReportMetric(metric(t, 3, 1), "s-adaptiveBlockIO")
+}
+
+// ---- real-engine micro-benchmarks ----
+
+func benchRecords(n int) []Record {
+	rng := rand.New(rand.NewPCG(11, 0))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: rng.Uint64()}
+	}
+	return recs
+}
+
+// BenchmarkRealSort measures the real execution engine's throughput for the
+// paper's algorithm and its classic rivals.
+func BenchmarkRealSort(b *testing.B) {
+	recs := benchRecords(200_000)
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"repl6-split", Options{}},
+		{"quick-split", Options{Method: Quicksort}},
+		{"repl1-split", Options{BlockPages: 1}},
+		{"repl6-susp", Options{Adaptation: Suspension}},
+		{"repl6-page", Options{Adaptation: MRUPaging}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opt := tc.opt
+			opt.PageRecords = 256
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt.Budget = NewBudget(32)
+				opt.Store = NewMemStore()
+				res, err := Sort(NewSliceIterator(recs), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Free(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(recs) * 8))
+		})
+	}
+}
+
+// BenchmarkRealSortAdaptive measures sorting while the budget fluctuates.
+func BenchmarkRealSortAdaptive(b *testing.B) {
+	recs := benchRecords(200_000)
+	for i := 0; i < b.N; i++ {
+		budget := NewBudget(32)
+		done := make(chan struct{})
+		go func() {
+			rng := rand.New(rand.NewPCG(3, 3))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					budget.Resize(3 + rng.IntN(30))
+				}
+			}
+		}()
+		res, err := Sort(NewSliceIterator(recs), Options{PageRecords: 256, Budget: budget})
+		close(done)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Free()
+	}
+	b.SetBytes(int64(len(recs) * 8))
+}
+
+// BenchmarkRealJoin measures the real join engine.
+func BenchmarkRealJoin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	l := make([]Record, 100_000)
+	r := make([]Record, 50_000)
+	for i := range l {
+		l[i] = Record{Key: rng.Uint64() % 65536}
+	}
+	for i := range r {
+		r[i] = Record{Key: rng.Uint64() % 65536}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Join(NewSliceIterator(l), NewSliceIterator(r),
+			Options{PageRecords: 256, Budget: NewBudget(24)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Free()
+	}
+}
+
+// BenchmarkFileStore measures the disk-backed run store.
+func BenchmarkFileStore(b *testing.B) {
+	recs := benchRecords(100_000)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store, err := NewFileStore(fmt.Sprintf("%s/run%d", dir, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Sort(NewSliceIterator(recs), Options{
+			PageRecords: 256, Budget: NewBudget(16), Store: store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Free()
+		store.Close()
+	}
+	b.SetBytes(int64(len(recs) * 8))
+}

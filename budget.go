@@ -1,0 +1,131 @@
+package masort
+
+import "sync"
+
+// Budget arbitrates memory between a running sort (or join) and the rest of
+// the application, in logical pages. It implements the operator side of the
+// paper's buffer-manager reservation protocol: the operator acquires pages
+// up to the current target and yields them back when the target shrinks.
+//
+// Grow, Shrink and Resize are safe to call from any goroutine while a sort
+// is running; changes take effect at the sort's next adaptation point
+// (page-granular). The target never drops below the floor (3 pages — two
+// merge inputs plus an output — the minimum any step needs to progress).
+type Budget struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	target  int
+	granted int
+	floor   int
+}
+
+// NewBudget creates a budget of the given number of pages.
+func NewBudget(pages int) *Budget {
+	b := &Budget{floor: 3}
+	b.cond = sync.NewCond(&b.mu)
+	if pages < b.floor {
+		pages = b.floor
+	}
+	b.target = pages
+	return b
+}
+
+// Resize sets the target to pages (floored at 3) and wakes the operator.
+func (b *Budget) Resize(pages int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if pages < b.floor {
+		pages = b.floor
+	}
+	b.target = pages
+	b.cond.Broadcast()
+}
+
+// Grow adds n pages to the target.
+func (b *Budget) Grow(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > 0 {
+		b.target += n
+		b.cond.Broadcast()
+	}
+}
+
+// Shrink removes n pages from the target (floored at 3).
+func (b *Budget) Shrink(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.target -= n
+	if b.target < b.floor {
+		b.target = b.floor
+	}
+	b.cond.Broadcast()
+}
+
+// Target returns the pages the operator is currently entitled to.
+func (b *Budget) Target() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.target
+}
+
+// Granted returns the pages the operator currently holds.
+func (b *Budget) Granted() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.granted
+}
+
+// Acquire grants the operator up to n additional pages within the target.
+func (b *Budget) Acquire(n int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	room := b.target - b.granted
+	if n > room {
+		n = room
+	}
+	if n < 0 {
+		n = 0
+	}
+	b.granted += n
+	return n
+}
+
+// Yield returns n pages.
+func (b *Budget) Yield(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.granted {
+		n = b.granted
+	}
+	if n > 0 {
+		b.granted -= n
+		b.cond.Broadcast()
+	}
+}
+
+// Pressure returns how many pages the operator holds above the target.
+func (b *Budget) Pressure() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.granted - b.target; p > 0 {
+		return p
+	}
+	return 0
+}
+
+// WaitTarget blocks until the target is at least n.
+func (b *Budget) WaitTarget(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.target < n {
+		b.cond.Wait()
+	}
+}
+
+// WaitChange blocks until the budget changes.
+func (b *Budget) WaitChange() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cond.Wait()
+}

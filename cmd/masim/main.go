@@ -1,0 +1,92 @@
+// Command masim reproduces the evaluation of "Memory-Adaptive External
+// Sorting" (Pang, Carey, Livny; VLDB 1993) on the built-in discrete-event
+// simulation of a centralized DBMS.
+//
+// Usage:
+//
+//	masim -list
+//	masim -exp all                      # every table & figure (full scale)
+//	masim -exp baseline,table5 -sorts 10
+//	masim -exp ratio -scale 0.25 -csv   # quick run, CSV output
+//
+// Full scale (-scale 1) uses the paper's 20 MB relations; -scale 0.25 is a
+// fast shape-preserving run for smoke checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/memadapt/masort/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		sorts   = flag.Int("sorts", 8, "sorts per data point (averaging)")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's 20 MB relations)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	opts := experiments.Options{
+		Seed:    *seed,
+		Sorts:   *sorts,
+		Scale:   *scale,
+		Workers: *workers,
+	}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  done %s\n", s) }
+	}
+
+	start := time.Now()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "masim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		}
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "masim: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			if *csv {
+				fmt.Print(tables[i].CSV())
+			} else {
+				fmt.Println(tables[i].String())
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

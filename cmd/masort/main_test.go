@@ -1,0 +1,68 @@
+package main
+
+import "testing"
+
+func TestParseScript(t *testing.T) {
+	chs, err := parseScript("25%:-40, 50%:+20,1000:-5", 2000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) != 3 {
+		t.Fatalf("changes = %d", len(chs))
+	}
+	if chs[0].atRecord != 500 || chs[0].delta != -40 {
+		t.Fatalf("first = %+v", chs[0])
+	}
+	if chs[1].atRecord != 1000 || chs[2].atRecord != 1000 {
+		t.Fatalf("entries must be sorted by position: %+v", chs)
+	}
+	if (chs[1].delta != 20 || chs[2].delta != -5) && (chs[1].delta != -5 || chs[2].delta != 20) {
+		t.Fatalf("tied entries lost: %+v", chs)
+	}
+}
+
+func TestParseScriptEmpty(t *testing.T) {
+	chs, err := parseScript("", 100, 10)
+	if err != nil || chs != nil {
+		t.Fatalf("%v %v", chs, err)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, bad := range []string{"nope", "x%:-5", "10:abc", "10"} {
+		if _, err := parseScript(bad, 100, 10); err == nil {
+			t.Fatalf("parseScript(%q) should fail", bad)
+		}
+	}
+}
+
+func TestKeyOfNumber(t *testing.T) {
+	a := keyOf("number", []byte("5 five"))
+	b := keyOf("number", []byte("10 ten"))
+	c := keyOf("number", []byte("-3 minus"))
+	if !(c < a && a < b) {
+		t.Fatalf("numeric ordering broken: %d %d %d", c, a, b)
+	}
+	junk := keyOf("number", []byte("zzz"))
+	if junk <= b {
+		t.Fatal("unparsable keys must sort last")
+	}
+}
+
+func TestKeyOfPrefixOrdersLexically(t *testing.T) {
+	if keyOf("prefix", []byte("apple")) >= keyOf("prefix", []byte("banana")) {
+		t.Fatal("prefix order broken")
+	}
+	if keyOf("prefix", []byte("")) != 0 {
+		t.Fatal("empty line key")
+	}
+}
+
+func TestKeyOfHashStable(t *testing.T) {
+	if keyOf("hash", []byte("x")) != keyOf("hash", []byte("x")) {
+		t.Fatal("hash must be deterministic")
+	}
+	if keyOf("hash", []byte("x")) == keyOf("hash", []byte("y")) {
+		t.Fatal("hash collision on trivial case")
+	}
+}

@@ -1,0 +1,46 @@
+// Package masort is a memory-adaptive external sorting and sort-merge join
+// library — a production-grade implementation of the algorithms from
+// "Memory-Adaptive External Sorting" (Pang, Carey, Livny; VLDB 1993).
+//
+// An external sort runs in two phases: a split phase that cuts the input
+// into sorted runs using an in-memory method (Quicksort or replacement
+// selection, optionally with block writes), and a merge phase that combines
+// the runs. What sets this library apart is that the memory available to a
+// sort may be changed while it runs — shrunk when the host system needs
+// pages for higher-priority work and grown when memory frees up — and the
+// sort adapts:
+//
+//   - in the split phase, by writing tuples out and releasing pages (or
+//     absorbing new ones into its workspace);
+//   - in the merge phase, by suspension, MRU buffer paging, or dynamic
+//     splitting — splitting an executing merge step into sub-steps that fit
+//     the shrunken memory and combining steps again as memory returns.
+//
+// The memory contract is a *Budget measured in logical pages; Grow and
+// Shrink may be called concurrently from any goroutine and take effect at
+// the sort's adaptation points. (Because Go is garbage-collected, pages are
+// logical accounting units, not RSS guarantees.)
+//
+// Quick start:
+//
+//	budget := masort.NewBudget(64) // 64 pages
+//	res, err := masort.Sort(masort.NewSliceIterator(records), masort.Options{
+//		Budget: budget,
+//	})
+//	if err != nil { ... }
+//	defer res.Free()
+//	it := res.Iterator()
+//	for {
+//		rec, ok, err := it.Next()
+//		...
+//	}
+//
+// While Sort runs, budget.Shrink(16) or budget.Grow(32) adjusts its memory.
+// The default configuration is the paper's recommendation: replacement
+// selection with 6-page block writes, optimized merging, dynamic splitting
+// ("repl6,opt,split").
+//
+// The repository also contains a full reproduction of the paper's
+// evaluation on a simulated DBMS (cmd/masim); see DESIGN.md and
+// EXPERIMENTS.md.
+package masort

@@ -1,0 +1,132 @@
+package masort
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
+	in := randomRecords(120_000, 21, 0)
+	budget := NewBudget(32)
+	var mu sync.Mutex
+	counts := map[EventKind]int{}
+	var phases []string
+	opt := Options{
+		PageRecords: 64,
+		Budget:      budget,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			counts[ev.Kind]++
+			if ev.Kind == EvPhase {
+				phases = append(phases, ev.Phase)
+			}
+			if ev.Target < 0 || ev.Granted < 0 {
+				t.Errorf("bad event memory state: %+v", ev)
+			}
+			mu.Unlock()
+		},
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(1, 1))
+		for {
+			select {
+			case <-stop:
+				budget.Resize(32)
+				return
+			default:
+				budget.Resize(3 + rng.IntN(29))
+				time.Sleep(150 * time.Microsecond)
+			}
+		}
+	}()
+	out, err := SortSlice(in, opt)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out)
+	if counts[EvPhase] < 3 {
+		t.Fatalf("phase events = %d, want split/merge/idle", counts[EvPhase])
+	}
+	if counts[EvStepDone] == 0 {
+		t.Fatal("no step-done events")
+	}
+	if counts[EvSplitStep] == 0 {
+		t.Fatal("budget churn should force at least one dynamic split")
+	}
+	wantPhases := map[string]bool{"split": false, "merge": false, "idle": false}
+	for _, p := range phases {
+		wantPhases[p] = true
+	}
+	for p, seen := range wantPhases {
+		if !seen {
+			t.Fatalf("phase %q never reported", p)
+		}
+	}
+}
+
+func TestEventsSuspension(t *testing.T) {
+	in := randomRecords(80_000, 23, 0)
+	budget := NewBudget(24)
+	var mu sync.Mutex
+	suspends, resumes := 0, 0
+	opt := Options{
+		Adaptation:  Suspension,
+		PageRecords: 64,
+		Budget:      budget,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			switch ev.Kind {
+			case EvSuspend:
+				suspends++
+			case EvResume:
+				resumes++
+			}
+			mu.Unlock()
+		},
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			budget.Resize(3)
+			time.Sleep(200 * time.Microsecond)
+			budget.Resize(24)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	out, err := SortSlice(in, opt)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out)
+	if suspends == 0 || suspends != resumes {
+		t.Fatalf("suspends=%d resumes=%d (must pair)", suspends, resumes)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EvSplitStep, EvCombineStart, EvCombineDone, EvCombineAbort,
+		EvSuspend, EvResume, EvStepDone, EvPhase,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,46 @@
+// Simulation: run a miniature version of the paper's baseline experiment
+// (Section 5.2) on the built-in DBMS simulator and print a Figure-6-style
+// comparison of the three merge-phase adaptation strategies.
+//
+// For the full-scale reproduction of every table and figure, use cmd/masim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memadapt/masort/internal/core"
+	"github.com/memadapt/masort/internal/memload"
+	"github.com/memadapt/masort/internal/simenv"
+)
+
+func main() {
+	fmt.Println("mini baseline experiment: 5 MB relations, M = 0.1 MB, baseline fluctuation")
+	fmt.Println()
+	fmt.Printf("%-18s %10s %10s %8s %8s\n", "algorithm", "resp(s)", "split(s)", "runs", "steps")
+	for _, algo := range []string{
+		"quick,opt,susp", "quick,opt,page", "quick,opt,split",
+		"repl6,opt,susp", "repl6,opt,page", "repl6,opt,split",
+	} {
+		cfg := simenv.Default()
+		var err error
+		cfg.Algo, err = core.ParseNotation(algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.RelPages = 640 // 5 MB
+		cfg.MemoryPages = simenv.MemoryMB(0.1)
+		cfg.Fluct = memload.Baseline()
+		cfg.NumSorts = 4
+		res, err := simenv.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10.1f %10.1f %8.1f %8.1f\n",
+			algo, res.MeanResponse.Seconds(), res.MeanSplitDur.Seconds(),
+			res.MeanRuns, res.MeanSteps)
+	}
+	fmt.Println()
+	fmt.Println("expected shape (paper Figure 6): susp slowest, split fastest, page between;")
+	fmt.Println("repl6 split phase shorter than quick's merge-vulnerable run pile")
+}

@@ -1,0 +1,227 @@
+package masort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore is a disk-backed RunStore: each run is one file in a directory.
+// Pages are encoded with a small binary framing (record count, then
+// key + payload per record) and an in-memory page index is kept per run.
+// Writes go through a buffered writer and are flushed before any read of
+// the same run, so tokens complete immediately.
+type FileStore struct {
+	dir string
+	own bool // remove dir on Close
+
+	mu   sync.Mutex
+	runs map[RunID]*fileRun
+	next RunID
+}
+
+type fileRun struct {
+	f       *os.File
+	w       *bufio.Writer
+	offsets []int64 // byte offset of each page
+	end     int64
+	dirty   bool
+}
+
+// NewFileStore creates a run store in dir; dir is created if missing. If
+// dir is empty, a fresh temporary directory is used and removed on Close.
+func NewFileStore(dir string) (*FileStore, error) {
+	own := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "masort-runs-")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+		own = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir, own: own, runs: map[RunID]*fileRun{}}, nil
+}
+
+// Dir returns the directory holding run files.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Close frees every run and removes the directory if the store owns it.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, r := range s.runs {
+		if err := r.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(r.f.Name()); err != nil && first == nil {
+			first = err
+		}
+		delete(s.runs, id)
+	}
+	if s.own {
+		if err := os.Remove(s.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Create opens a new empty run file.
+func (s *FileStore) Create() (RunID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("run-%06d.bin", id)))
+	if err != nil {
+		return 0, err
+	}
+	s.runs[id] = &fileRun{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	return id, nil
+}
+
+func encodePage(w io.Writer, pg Page) (int64, error) {
+	var n int64
+	var hdr [binary.MaxVarintLen64]byte
+	write := func(b []byte) error {
+		m, err := w.Write(b)
+		n += int64(m)
+		return err
+	}
+	if err := write(hdr[:binary.PutUvarint(hdr[:], uint64(len(pg)))]); err != nil {
+		return n, err
+	}
+	for _, rec := range pg {
+		var kb [8]byte
+		binary.LittleEndian.PutUint64(kb[:], rec.Key)
+		if err := write(kb[:]); err != nil {
+			return n, err
+		}
+		if err := write(hdr[:binary.PutUvarint(hdr[:], uint64(len(rec.Payload)))]); err != nil {
+			return n, err
+		}
+		if err := write(rec.Payload); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func decodePage(r *bufio.Reader) (Page, error) {
+	cnt, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	pg := make(Page, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var kb [8]byte
+		if _, err := io.ReadFull(r, kb[:]); err != nil {
+			return nil, err
+		}
+		plen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		var payload []byte
+		if plen > 0 {
+			payload = make([]byte, plen)
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return nil, err
+			}
+		}
+		pg = append(pg, Record{Key: binary.LittleEndian.Uint64(kb[:]), Payload: payload})
+	}
+	return pg, nil
+}
+
+// Append writes pages to the end of the run.
+func (s *FileStore) Append(id RunID, pages []Page) (Token, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("masort: append to unknown run %d", id)
+	}
+	for _, pg := range pages {
+		r.offsets = append(r.offsets, r.end)
+		n, err := encodePage(r.w, pg)
+		r.end += n
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.dirty = true
+	return readyToken{}, nil
+}
+
+// ReadAsync reads one page of a run.
+func (s *FileStore) ReadAsync(id RunID, page int) PageToken {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return readyPage{err: fmt.Errorf("masort: read of unknown run %d", id)}
+	}
+	if page < 0 || page >= len(r.offsets) {
+		return readyPage{err: fmt.Errorf("masort: run %d has no page %d", id, page)}
+	}
+	if r.dirty {
+		if err := r.w.Flush(); err != nil {
+			return readyPage{err: err}
+		}
+		r.dirty = false
+	}
+	if _, err := r.f.Seek(r.offsets[page], io.SeekStart); err != nil {
+		return readyPage{err: err}
+	}
+	pg, err := decodePage(bufio.NewReaderSize(r.f, 1<<15))
+	if err != nil {
+		return readyPage{err: fmt.Errorf("masort: decode run %d page %d: %w", id, page, err)}
+	}
+	// Leave the write position where appends expect it.
+	if _, err := r.f.Seek(r.end, io.SeekStart); err != nil {
+		return readyPage{err: err}
+	}
+	return readyPage{pg: pg}
+}
+
+// Pages returns the number of pages in a run.
+func (s *FileStore) Pages(id RunID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runs[id]; ok {
+		return len(r.offsets)
+	}
+	return 0
+}
+
+// Free removes a run and its file.
+func (s *FileStore) Free(id RunID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return fmt.Errorf("masort: free of unknown run %d", id)
+	}
+	delete(s.runs, id)
+	name := r.f.Name()
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// Live returns the number of unfreed runs.
+func (s *FileStore) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}

@@ -1,0 +1,164 @@
+package masort
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileStoreCreatesAndCleansDir(t *testing.T) {
+	store, err := NewFileStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := store.Dir()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := store.Create()
+	if _, err := store.Append(id, []Page{{{Key: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("owned temp dir should be removed, stat err = %v", err)
+	}
+}
+
+func TestFileStoreExplicitDirSurvivesClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runs")
+	store, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("explicit dir should survive Close: %v", err)
+	}
+}
+
+func TestFileStoreUnknownRunErrors(t *testing.T) {
+	store, _ := NewFileStore(t.TempDir())
+	defer store.Close()
+	if _, err := store.Append(99, nil); err == nil {
+		t.Fatal("append to unknown run")
+	}
+	if _, err := store.ReadAsync(99, 0).Wait(); err == nil {
+		t.Fatal("read of unknown run")
+	}
+	if err := store.Free(99); err == nil {
+		t.Fatal("free of unknown run")
+	}
+	if store.Pages(99) != 0 {
+		t.Fatal("pages of unknown run")
+	}
+}
+
+func TestFileStoreEmptyPayloadAndLargeRecords(t *testing.T) {
+	store, _ := NewFileStore(t.TempDir())
+	defer store.Close()
+	id, _ := store.Create()
+	big := make([]byte, 70000) // exceeds the bufio reader size
+	for i := range big {
+		big[i] = byte(i)
+	}
+	pages := []Page{{
+		{Key: 1},
+		{Key: 2, Payload: []byte{}},
+		{Key: 3, Payload: big},
+	}}
+	tok, err := store.Append(id, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tok.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := store.ReadAsync(id, 0).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg) != 3 || len(pg[2].Payload) != 70000 || pg[2].Payload[69999] != big[69999] {
+		t.Fatalf("round trip corrupted: %d records", len(pg))
+	}
+	if len(pg[1].Payload) != 0 {
+		t.Fatal("empty payload mangled")
+	}
+}
+
+// Property: any records survive a FileStore round trip byte-for-byte.
+func TestFileStoreRoundTripProperty(t *testing.T) {
+	store, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	f := func(keys []uint64, payloads [][]byte) bool {
+		var pg Page
+		for i, k := range keys {
+			var p []byte
+			if i < len(payloads) {
+				p = payloads[i]
+			}
+			pg = append(pg, Record{Key: k, Payload: p})
+		}
+		if len(pg) == 0 {
+			return true
+		}
+		id, err := store.Create()
+		if err != nil {
+			return false
+		}
+		tok, err := store.Append(id, []Page{pg})
+		if err != nil || tok.Wait() != nil {
+			return false
+		}
+		got, err := store.ReadAsync(id, 0).Wait()
+		if err != nil || len(got) != len(pg) {
+			return false
+		}
+		for i := range pg {
+			if got[i].Key != pg[i].Key || string(got[i].Payload) != string(pg[i].Payload) {
+				return false
+			}
+		}
+		return store.Free(id) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIteratorAcrossPages(t *testing.T) {
+	store := NewMemStore()
+	id, _ := store.Create()
+	_, _ = store.Append(id, []Page{
+		{{Key: 1}, {Key: 2}},
+		{}, // empty page must be skipped gracefully
+		{{Key: 3}},
+	})
+	it := &runIterator{store: store, id: id, pages: 3}
+	recs, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Key != 3 {
+		t.Fatalf("iterated %+v", recs)
+	}
+}
+
+func TestRunIteratorPropagatesStoreError(t *testing.T) {
+	store := NewMemStore()
+	id, _ := store.Create()
+	_, _ = store.Append(id, []Page{{{Key: 1}}})
+	it := &runIterator{store: store, id: id, pages: 5} // lies about page count
+	_, err := Drain(it)
+	if err == nil {
+		t.Fatal("read past end must surface an error")
+	}
+}

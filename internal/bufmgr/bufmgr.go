@@ -1,0 +1,244 @@
+// Package bufmgr implements the paper's buffer manager with a reservation
+// mechanism (Section 4.2): a pool of M pages shared between one adaptive
+// operator (the external sort or sort-merge join) and a stream of competing
+// memory requests issued on behalf of higher-priority transactions.
+//
+// Competing requests are granted all-at-once in FIFO order. The adaptive
+// operator owns the rest of the pool; when requests arrive the operator's
+// *target* drops and it must yield pages (how quickly it can is exactly the
+// split-phase / merge-phase delay the paper measures). When requests leave,
+// the target rises again and the operator may re-acquire pages.
+package bufmgr
+
+import (
+	"fmt"
+
+	"github.com/memadapt/masort/internal/sim"
+)
+
+// DelayRecord captures how long one competing request waited for its full
+// grant, attributed to the operator phase at the request's arrival.
+type DelayRecord struct {
+	Phase string
+	Pages int
+	Delay sim.Time
+	At    sim.Time
+}
+
+// Pool is the buffer pool. All methods must be called from simulation
+// processes or event callbacks (single-threaded by construction).
+type Pool struct {
+	s     *sim.Sim
+	total int
+	floor int
+
+	opGranted     int
+	reqGranted    int
+	pendingDemand int
+	free          int
+
+	queue   []*pending
+	changed *sim.Signal
+
+	// PhaseFn labels request delays with the operator's current phase;
+	// defaults to "idle" when unset.
+	PhaseFn func() string
+
+	// Reclaimer, when set, is invoked synchronously at request arrival to
+	// let the operator release clean (unpinned) buffers immediately — the
+	// paper's observation that merge-phase input buffers can be given up
+	// the instant they are asked for (merge delays < 1 ms). The callback
+	// should Yield what it can free instantly and return the amount.
+	Reclaimer func(need int) int
+
+	// Delays holds one record per satisfied competing request.
+	Delays []DelayRecord
+	// Rejected counts requests that could not be admitted because the
+	// operator floor left no headroom.
+	Rejected int
+}
+
+type pending struct {
+	want   int
+	flag   *sim.Flag
+	arrive sim.Time
+	phase  string
+}
+
+// New creates a pool of total pages; the adaptive operator is guaranteed to
+// keep at least floor pages (see DESIGN.md: MinSortPages).
+func New(s *sim.Sim, total, floor int) *Pool {
+	if total <= 0 || floor < 0 || floor > total {
+		panic(fmt.Sprintf("bufmgr: invalid pool (total=%d floor=%d)", total, floor))
+	}
+	return &Pool{s: s, total: total, floor: floor, free: total, changed: sim.NewSignal(s)}
+}
+
+// Total returns the pool size M in pages.
+func (b *Pool) Total() int { return b.total }
+
+// Floor returns the operator's guaranteed minimum.
+func (b *Pool) Floor() int { return b.floor }
+
+// Free returns the number of unowned pages.
+func (b *Pool) Free() int { return b.free }
+
+// OpGranted returns the pages currently held by the adaptive operator.
+func (b *Pool) OpGranted() int { return b.opGranted }
+
+// ReqGranted returns the pages currently held by competing requests.
+func (b *Pool) ReqGranted() int { return b.reqGranted }
+
+func (b *Pool) phase() string {
+	if b.PhaseFn != nil {
+		return b.PhaseFn()
+	}
+	return "idle"
+}
+
+func (b *Pool) checkInvariant() {
+	if b.opGranted+b.reqGranted+b.free != b.total || b.free < 0 || b.opGranted < 0 || b.reqGranted < 0 {
+		panic(fmt.Sprintf("bufmgr: conservation violated: op=%d req=%d free=%d total=%d",
+			b.opGranted, b.reqGranted, b.free, b.total))
+	}
+}
+
+// ---- Competing-request side ----
+
+// Request asks for want pages on behalf of a competing transaction, blocking
+// the calling process until the full amount is granted. It returns the
+// number of pages actually granted: the demand is capped by the operator
+// floor and by demand already promised to earlier requests; the result is 0
+// if no headroom exists (the request is rejected, matching the observation
+// that granting it could never be satisfied).
+func (b *Pool) Request(p *sim.Proc, want int) int {
+	headroom := b.total - b.floor - b.reqGranted - b.pendingDemand
+	if want > headroom {
+		want = headroom
+	}
+	if want <= 0 {
+		b.Rejected++
+		return 0
+	}
+	pd := &pending{want: want, flag: sim.NewFlag(b.s), arrive: b.s.Now(), phase: b.phase()}
+	b.queue = append(b.queue, pd)
+	b.pendingDemand += want
+	b.tryGrant()
+	if !pd.flag.IsSet() && b.Reclaimer != nil {
+		// Clean buffers can be taken away instantly; the Yield inside the
+		// reclaimer re-runs tryGrant.
+		b.Reclaimer(pd.want - b.free)
+	}
+	// The operator's target just dropped: let it react immediately.
+	b.changed.Broadcast()
+	pd.flag.Wait(p)
+	return want
+}
+
+// ReleaseRequest returns pages held by a competing request to the pool.
+func (b *Pool) ReleaseRequest(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > b.reqGranted {
+		panic(fmt.Sprintf("bufmgr: releasing %d request pages but only %d granted", n, b.reqGranted))
+	}
+	b.reqGranted -= n
+	b.free += n
+	b.tryGrant()
+	b.checkInvariant()
+	b.changed.Broadcast()
+}
+
+// tryGrant satisfies queued requests FIFO, each all-at-once.
+func (b *Pool) tryGrant() {
+	for len(b.queue) > 0 && b.free >= b.queue[0].want {
+		pd := b.queue[0]
+		b.queue = b.queue[1:]
+		b.free -= pd.want
+		b.reqGranted += pd.want
+		b.pendingDemand -= pd.want
+		b.Delays = append(b.Delays, DelayRecord{
+			Phase: pd.phase,
+			Pages: pd.want,
+			Delay: b.s.Now() - pd.arrive,
+			At:    b.s.Now(),
+		})
+		pd.flag.Set()
+	}
+	b.checkInvariant()
+}
+
+// ---- Adaptive-operator side ----
+
+// Target returns the number of pages the operator is currently entitled to:
+// the pool minus everything granted or promised to competing requests,
+// never below the floor.
+func (b *Pool) Target() int {
+	t := b.total - b.reqGranted - b.pendingDemand
+	if t < b.floor {
+		t = b.floor
+	}
+	return t
+}
+
+// Pressure returns how many pages the operator holds above its target, i.e.
+// how many it is being asked to give back right now.
+func (b *Pool) Pressure() int {
+	if p := b.opGranted - b.Target(); p > 0 {
+		return p
+	}
+	return 0
+}
+
+// Acquire grants the operator up to n additional pages, limited by its
+// target and by the free pool. Returns the number actually granted.
+func (b *Pool) Acquire(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	room := b.Target() - b.opGranted
+	if n > room {
+		n = room
+	}
+	if n > b.free {
+		n = b.free
+	}
+	if n <= 0 {
+		return 0
+	}
+	b.opGranted += n
+	b.free -= n
+	b.checkInvariant()
+	return n
+}
+
+// Yield gives n operator pages back to the pool, waking any queued requests
+// that can now be granted.
+func (b *Pool) Yield(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > b.opGranted {
+		panic(fmt.Sprintf("bufmgr: yielding %d pages but operator holds %d", n, b.opGranted))
+	}
+	b.opGranted -= n
+	b.free += n
+	b.tryGrant()
+	b.checkInvariant()
+}
+
+// WaitChange parks p until the operator's entitlement may have changed
+// (a request arrived or departed).
+func (b *Pool) WaitChange(p *sim.Proc) { b.changed.Wait(p) }
+
+// WaitTarget parks p until the operator's target is at least n (capped at
+// the pool size, so the wait always terminates when requests drain).
+func (b *Pool) WaitTarget(p *sim.Proc, n int) {
+	if n > b.total {
+		n = b.total
+	}
+	for b.Target() < n {
+		b.changed.Wait(p)
+	}
+}

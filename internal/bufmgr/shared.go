@@ -1,0 +1,243 @@
+package bufmgr
+
+import (
+	"fmt"
+
+	"github.com/memadapt/masort/internal/sim"
+)
+
+// SharedPool extends the paper's buffer manager to several adaptive
+// operators running concurrently — the multiprogramming scenario that
+// motivates memory-adaptive sorting in the first place (§1: suspending
+// affected sorts reduces the number of active transactions and
+// under-utilizes the system).
+//
+// Policy: every registered operator is entitled to an equal share of
+// whatever the competing requests have not taken, floored at the operator
+// minimum. Registration, completion and request arrivals all shift the
+// shares; operators observe the change through their handles exactly as
+// with the single-operator Pool.
+type SharedPool struct {
+	s       *sim.Sim
+	total   int
+	floor   int // per-operator guaranteed minimum
+	free    int
+	reqHeld int
+	pending int
+
+	ops     []*OpHandle // registration order (deterministic reclaim)
+	queue   []*pending
+	changed *sim.Signal
+
+	// Delays records competing-request grant latencies ("shared" phase).
+	Delays   []DelayRecord
+	Rejected int
+}
+
+// NewShared creates a shared pool of total pages with the given
+// per-operator floor.
+func NewShared(s *sim.Sim, total, floorPerOp int) *SharedPool {
+	if total <= 0 || floorPerOp < 0 {
+		panic(fmt.Sprintf("bufmgr: invalid shared pool (total=%d floor=%d)", total, floorPerOp))
+	}
+	return &SharedPool{
+		s: s, total: total, floor: floorPerOp, free: total,
+		changed: sim.NewSignal(s),
+	}
+}
+
+// Total returns the pool size.
+func (sp *SharedPool) Total() int { return sp.total }
+
+// Ops returns the number of registered operators.
+func (sp *SharedPool) Ops() int { return len(sp.ops) }
+
+func (sp *SharedPool) check() {
+	held := sp.reqHeld
+	for _, h := range sp.ops {
+		held += h.granted
+	}
+	if held+sp.free != sp.total || sp.free < 0 {
+		panic(fmt.Sprintf("bufmgr: shared conservation violated (held=%d free=%d total=%d)",
+			held, sp.free, sp.total))
+	}
+}
+
+// Register admits a new adaptive operator; every share shrinks. The
+// operator must Unregister when done. Registration fails if admitting one
+// more operator would leave someone below the floor.
+func (sp *SharedPool) Register() (*OpHandle, error) {
+	if (len(sp.ops)+1)*sp.floor > sp.total {
+		return nil, fmt.Errorf("bufmgr: admitting operator %d would break the %d-page floor",
+			len(sp.ops)+1, sp.floor)
+	}
+	h := &OpHandle{sp: sp}
+	sp.ops = append(sp.ops, h)
+	sp.changed.Broadcast()
+	return h, nil
+}
+
+// Unregister removes a finished operator, which must hold no pages.
+func (sp *SharedPool) Unregister(h *OpHandle) {
+	if h.granted != 0 {
+		panic(fmt.Sprintf("bufmgr: unregistering operator still holding %d pages", h.granted))
+	}
+	for i, o := range sp.ops {
+		if o == h {
+			sp.ops = append(sp.ops[:i], sp.ops[i+1:]...)
+			break
+		}
+	}
+	sp.tryGrant()
+	sp.changed.Broadcast()
+}
+
+// share is the per-operator entitlement.
+func (sp *SharedPool) share() int {
+	if len(sp.ops) == 0 {
+		return 0
+	}
+	s := (sp.total - sp.reqHeld - sp.pending) / len(sp.ops)
+	if s < sp.floor {
+		s = sp.floor
+	}
+	return s
+}
+
+// Request asks for want pages for a competing transaction, blocking until
+// fully granted (FIFO, all at once), as in the single-operator pool.
+// Operators' registered reclaimers are invoked to free clean buffers
+// immediately.
+func (sp *SharedPool) Request(p *sim.Proc, want int) int {
+	headroom := sp.total - len(sp.ops)*sp.floor - sp.reqHeld - sp.pending
+	if want > headroom {
+		want = headroom
+	}
+	if want <= 0 {
+		sp.Rejected++
+		return 0
+	}
+	pd := &pending{want: want, flag: sim.NewFlag(sp.s), arrive: sp.s.Now(), phase: "shared"}
+	sp.queue = append(sp.queue, pd)
+	sp.pending += want
+	sp.tryGrant()
+	if !pd.flag.IsSet() {
+		for _, h := range sp.ops {
+			if pd.flag.IsSet() {
+				break
+			}
+			if h.reclaim != nil && sp.free < pd.want {
+				h.reclaim(pd.want - sp.free)
+			}
+		}
+	}
+	sp.changed.Broadcast()
+	pd.flag.Wait(p)
+	return want
+}
+
+// ReleaseRequest returns a competing request's pages.
+func (sp *SharedPool) ReleaseRequest(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > sp.reqHeld {
+		panic("bufmgr: shared release exceeds request holdings")
+	}
+	sp.reqHeld -= n
+	sp.free += n
+	sp.tryGrant()
+	sp.check()
+	sp.changed.Broadcast()
+}
+
+func (sp *SharedPool) tryGrant() {
+	for len(sp.queue) > 0 && sp.free >= sp.queue[0].want {
+		pd := sp.queue[0]
+		sp.queue = sp.queue[1:]
+		sp.free -= pd.want
+		sp.reqHeld += pd.want
+		sp.pending -= pd.want
+		sp.Delays = append(sp.Delays, DelayRecord{
+			Phase: pd.phase, Pages: pd.want,
+			Delay: sp.s.Now() - pd.arrive, At: sp.s.Now(),
+		})
+		pd.flag.Set()
+	}
+	sp.check()
+}
+
+// OpHandle is one operator's view of the shared pool; it implements the
+// same contract as the single-operator Pool (and core.Broker via simenv).
+type OpHandle struct {
+	sp      *SharedPool
+	granted int
+	proc    *sim.Proc
+	reclaim func(need int) int
+}
+
+// Bind attaches the operator's process (for waiting).
+func (h *OpHandle) Bind(p *sim.Proc) { h.proc = p }
+
+// SetReclaimer registers the operator's instant clean-buffer reclaimer.
+func (h *OpHandle) SetReclaimer(fn func(need int) int) { h.reclaim = fn }
+
+// Granted returns the pages this operator holds.
+func (h *OpHandle) Granted() int { return h.granted }
+
+// Target returns this operator's current entitlement.
+func (h *OpHandle) Target() int { return h.sp.share() }
+
+// Pressure returns how far above the entitlement the operator is.
+func (h *OpHandle) Pressure() int {
+	if p := h.granted - h.Target(); p > 0 {
+		return p
+	}
+	return 0
+}
+
+// Acquire grants up to n more pages within the entitlement.
+func (h *OpHandle) Acquire(n int) int {
+	room := h.Target() - h.granted
+	if n > room {
+		n = room
+	}
+	if n > h.sp.free {
+		n = h.sp.free
+	}
+	if n <= 0 {
+		return 0
+	}
+	h.granted += n
+	h.sp.free -= n
+	h.sp.check()
+	return n
+}
+
+// Yield returns n pages to the pool.
+func (h *OpHandle) Yield(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > h.granted {
+		panic(fmt.Sprintf("bufmgr: operator yielding %d of %d pages", n, h.granted))
+	}
+	h.granted -= n
+	h.sp.free += n
+	h.sp.tryGrant()
+	h.sp.changed.Broadcast() // siblings may grow into the freed share
+}
+
+// WaitTarget parks until the entitlement reaches n (clamped to what is
+// achievable when this operator is alone with no requests).
+func (h *OpHandle) WaitTarget(n int) {
+	if n > h.sp.total {
+		n = h.sp.total
+	}
+	for h.Target() < n {
+		h.sp.changed.Wait(h.proc)
+	}
+}
+
+// WaitChange parks until shares may have shifted.
+func (h *OpHandle) WaitChange() { h.sp.changed.Wait(h.proc) }

@@ -1,0 +1,140 @@
+package core
+
+import "time"
+
+// RunID identifies a sorted run in a RunStore.
+type RunID int
+
+// Token is the completion handle of an asynchronous run write. In the
+// simulator Wait blocks the sort's process until the disk completes the
+// write; real synchronous stores return already-completed tokens.
+type Token interface {
+	Wait() error
+}
+
+// PageToken is the completion handle of an asynchronous page read.
+type PageToken interface {
+	Wait() (Page, error)
+}
+
+// RunStore stores sorted runs. Implementations are bound to the executing
+// process/goroutine: all calls for one sort come from that single context.
+type RunStore interface {
+	// Create opens a new empty run.
+	Create() (RunID, error)
+	// Append writes pages to the end of the run asynchronously. The pages
+	// become readable once the returned token completes.
+	Append(id RunID, pages []Page) (Token, error)
+	// ReadAsync starts reading one page (0-based) of the run.
+	ReadAsync(id RunID, page int) PageToken
+	// Pages returns the number of pages appended so far.
+	Pages(id RunID) int
+	// Free releases the run's storage.
+	Free(id RunID) error
+}
+
+// Input is the source relation, consumed one page at a time (an external
+// sort makes a single pass over its input during the split phase).
+type Input interface {
+	// NextPage returns the next input page, or ok=false at end of input.
+	NextPage() (Page, bool, error)
+}
+
+// Broker arbitrates buffer pages between the sort and the rest of the
+// system. Pages are logical 8 KB units; Granted tracks what the sort holds,
+// Target what it is currently entitled to. When Target drops below Granted
+// the sort is under pressure and must Yield pages as fast as its current
+// phase permits — the paper's central adaptation problem.
+type Broker interface {
+	Granted() int
+	Target() int
+	// Acquire grants up to n additional pages (bounded by Target and
+	// availability) and returns the number granted.
+	Acquire(n int) int
+	// Yield returns n pages. The caller must have logically freed them.
+	Yield(n int)
+	// Pressure returns max(0, Granted()-Target()).
+	Pressure() int
+	// WaitTarget blocks until Target() >= n (n is clamped to the pool size).
+	WaitTarget(n int)
+	// WaitChange blocks until the target may have changed.
+	WaitChange()
+}
+
+// Op enumerates CPU operations charged through the Meter. The instruction
+// costs live in cpumodel.CostTable (the paper's Table 4).
+type Op int
+
+const (
+	OpCompare    Op = iota // key comparison
+	OpCopyTuple            // copy one tuple between buffers/heap
+	OpBuildEntry           // build a (key,pointer) entry for Quicksort
+	OpSwapEntry            // swap (key,pointer) entries during Quicksort
+	OpStartIO              // initiate a disk request
+	OpFixPage              // per-page buffer bookkeeping
+)
+
+// Meter receives CPU charges. The simulator implementation occupies the
+// simulated CPU; the real engine's implementation just counts.
+type Meter interface {
+	Charge(op Op, n int64)
+}
+
+// Env bundles the substrate a sort executes against.
+type Env struct {
+	In    Input
+	Store RunStore
+	Mem   Broker
+	Meter Meter
+	// Now returns the current time (simulated or wall-clock).
+	Now func() time.Duration
+	// SetPhase optionally reports phase transitions ("split", "merge",
+	// "idle") so the buffer manager can attribute request delays.
+	SetPhase func(string)
+	// SetReclaim optionally registers a synchronous clean-buffer reclaimer
+	// with the host's buffer manager (see bufmgr.Pool.Reclaimer). The merge
+	// engine registers itself while running, so competing memory requests
+	// are served from clean input buffers the instant they arrive — the
+	// paper's sub-millisecond merge-phase delays. Hosts whose budget
+	// changes arrive from concurrent goroutines (the real engine) must
+	// leave this nil; adaptation then happens at page boundaries.
+	SetReclaim func(fn func(need int) int)
+	// OnEvent optionally receives adaptation events (splits, combines,
+	// suspensions, phase changes) as they happen — the observable history
+	// of how the operator adapted to memory fluctuation.
+	OnEvent func(Event)
+	// Trace optionally receives debug events.
+	Trace func(format string, args ...any)
+}
+
+func (e *Env) charge(op Op, n int64) {
+	if n > 0 && e.Meter != nil {
+		e.Meter.Charge(op, n)
+	}
+}
+
+func (e *Env) setPhase(p string) {
+	if e.SetPhase != nil {
+		e.SetPhase(p)
+	}
+	e.emit(EvPhase, 0, p)
+}
+
+func (e *Env) setReclaimFn(fn func(need int) int) {
+	if e.SetReclaim != nil {
+		e.SetReclaim(fn)
+	}
+}
+
+func (e *Env) now() time.Duration {
+	if e.Now != nil {
+		return e.Now()
+	}
+	return 0
+}
+
+func (e *Env) trace(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(format, args...)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "time"
+
+// EventKind classifies adaptation events emitted during a sort or join.
+type EventKind int
+
+const (
+	// EvSplitStep: dynamic splitting carved a preliminary sub-step out of
+	// the active merge step.
+	EvSplitStep EventKind = iota
+	// EvCombineStart: memory grew; the active step's parent began draining
+	// the sub-step's output (paper Figure 3a).
+	EvCombineStart
+	// EvCombineDone: the drained run emptied and the sub-step's inputs were
+	// absorbed into the parent (Figure 3b).
+	EvCombineDone
+	// EvCombineAbort: memory shrank mid-drain; fell back to the preliminary
+	// step.
+	EvCombineAbort
+	// EvSuspend: the merge released everything and is waiting for memory.
+	EvSuspend
+	// EvResume: memory returned; input buffers refetched in one batch.
+	EvResume
+	// EvStepDone: a merge step completed.
+	EvStepDone
+	// EvPhase: phase transition ("split", "merge", "idle").
+	EvPhase
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EvSplitStep:
+		return "split-step"
+	case EvCombineStart:
+		return "combine-start"
+	case EvCombineDone:
+		return "combine-done"
+	case EvCombineAbort:
+		return "combine-abort"
+	case EvSuspend:
+		return "suspend"
+	case EvResume:
+		return "resume"
+	case EvStepDone:
+		return "step-done"
+	case EvPhase:
+		return "phase"
+	}
+	return "unknown"
+}
+
+// Event is one adaptation event.
+type Event struct {
+	Kind EventKind
+	At   time.Duration // Env clock
+	// Target and Granted are the memory state when the event fired.
+	Target  int
+	Granted int
+	// Detail depends on the kind: fan-in of the new step for EvSplitStep,
+	// combined fan-in for EvCombineDone, the step's fan-in for
+	// EvSuspend/EvResume/EvStepDone, and 0 otherwise.
+	Detail int
+	// Phase carries the phase name for EvPhase events.
+	Phase string
+}
+
+// emit sends an event through the Env's OnEvent hook, if installed.
+func (e *Env) emit(kind EventKind, detail int, phase string) {
+	if e.OnEvent == nil {
+		return
+	}
+	var target, granted int
+	if e.Mem != nil {
+		target = e.Mem.Target()
+		granted = e.Mem.Granted()
+	}
+	e.OnEvent(Event{
+		Kind:    kind,
+		At:      e.now(),
+		Target:  target,
+		Granted: granted,
+		Detail:  detail,
+		Phase:   phase,
+	})
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+)
+
+// JoinResult is the outcome of a memory-adaptive sort-merge join: the run
+// holding the joined tuples plus statistics.
+type JoinResult struct {
+	Result RunID
+	Pages  int
+	Tuples int
+	Stats  JoinStats
+}
+
+// SortMergeJoin equi-joins two relations on Key using the paper's Section 6
+// algorithm: both relations are split into sorted runs with the configured
+// in-memory sorting method; the merge phase combines runs from both
+// relations concurrently, joining as it merges. When all runs do not fit,
+// preliminary steps merge runs from one relation — the one whose k shortest
+// runs have the smaller total size, or the one with more runs if the other
+// has fewer than k (the paper's modified naive/optimized strategies). All
+// three merge-phase adaptation strategies apply.
+//
+// Joined output records carry the key and the concatenated payloads.
+func SortMergeJoin(e *Env, left, right Input, cfg SortConfig) (*JoinResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &JoinStats{}
+	t0 := e.now()
+
+	// Split phase: both relations, one after the other (a single operator).
+	e.In = left
+	lruns, err := splitPhase(e, cfg, &st.SortStats)
+	if err != nil {
+		return nil, fmt.Errorf("core: join split (left): %w", err)
+	}
+	st.LeftRuns = len(lruns)
+	leftTuples := st.TuplesIn
+	e.In = right
+	rruns, err := splitPhase(e, cfg, &st.SortStats)
+	if err != nil {
+		return nil, fmt.Errorf("core: join split (right): %w", err)
+	}
+	st.RightRuns = len(rruns)
+	st.SplitDuration = e.now() - t0
+
+	e.setPhase("merge")
+	tm := e.now()
+	j := &joinEngine{
+		m:     &mergeEngine{e: e, cfg: cfg, st: &st.SortStats},
+		left:  lruns,
+		right: rruns,
+	}
+	out, err := j.run()
+	if err != nil {
+		return nil, err
+	}
+	st.MergeDuration = e.now() - tm
+	st.Response = e.now() - t0
+	st.ResultTuples = out.tuples
+	e.setPhase("idle")
+	if g := e.Mem.Granted(); g > 0 {
+		e.Mem.Yield(g)
+	}
+	_ = leftTuples
+	return &JoinResult{Result: out.id, Pages: out.pages, Tuples: out.tuples, Stats: *st}, nil
+}
+
+// joinEngine drives the merge phase of a sort-merge join.
+type joinEngine struct {
+	m     *mergeEngine
+	left  []*runInfo
+	right []*runInfo
+	out   *runInfo
+
+	// group buffers the right-side records of the join key currently being
+	// processed. It persists across adaptation interruptions: the gathered
+	// records' run cursors have already advanced, so the group is the only
+	// copy (it lives in the operator's private workspace, like the per-run
+	// current tuples).
+	group      []Record
+	groupKey   Key
+	groupValid bool
+}
+
+func (j *joinEngine) run() (*runInfo, error) {
+	out, err := j.m.newOutRun()
+	if err != nil {
+		return nil, err
+	}
+	j.out = out
+	j.m.e.setReclaimFn(j.m.reclaim)
+	defer j.m.e.setReclaimFn(nil)
+	for {
+		target := max(j.m.e.Mem.Target(), j.m.cfg.MinPages)
+		need := len(j.left) + len(j.right) + 1
+		if need <= target || len(j.left)+len(j.right) <= 2 {
+			done, err := j.jointStep()
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return j.out, nil
+			}
+			continue // interrupted by a shortage: re-plan
+		}
+		if err := j.prelimStep(target); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// prelimStep merges k shortest runs of one relation into a longer run,
+// choosing k by the merging strategy and the relation by the paper's rule.
+func (j *joinEngine) prelimStep(target int) error {
+	n := len(j.left) + len(j.right)
+	k := firstStepFanIn(n, target, j.m.cfg.Merge)
+	fromLeft := chooseJoinSide(j.left, j.right, k)
+	side := j.right
+	if fromLeft {
+		side = j.left
+	}
+	if k > len(side) {
+		k = len(side)
+	}
+	if k < 2 {
+		// Degenerate: the chosen side has a single run; merge on the other.
+		fromLeft = !fromLeft
+		side = j.right
+		if fromLeft {
+			side = j.left
+		}
+		k = min(firstStepFanIn(n, target, j.m.cfg.Merge), len(side))
+		if k < 2 {
+			return fmt.Errorf("core: join cannot form a preliminary step (%d+%d runs, target %d)",
+				len(j.left), len(j.right), target)
+		}
+	}
+	chosen, rest := pickRuns(side, k, !j.m.cfg.NoShortestFirst)
+	merged, err := j.m.mergeSubset(chosen)
+	if err != nil {
+		return err
+	}
+	if fromLeft {
+		j.left = append(rest, merged)
+	} else {
+		j.right = append(rest, merged)
+	}
+	return nil
+}
+
+// chooseJoinSide picks the relation for a preliminary merge: if only one
+// side has at least k runs, that side (not increasing the number of steps);
+// otherwise the side whose k shortest runs total fewer pages.
+func chooseJoinSide(left, right []*runInfo, k int) (fromLeft bool) {
+	lOK, rOK := len(left) >= k, len(right) >= k
+	switch {
+	case lOK && !rOK:
+		return true
+	case rOK && !lOK:
+		return false
+	case !lOK && !rOK:
+		return len(left) >= len(right)
+	}
+	lSel, _ := pickRuns(left, k, true)
+	rSel, _ := pickRuns(right, k, true)
+	return sumRemaining(lSel) <= sumRemaining(rSel)
+}
+
+// mergeSubset merges exactly the given runs into one run under the engine's
+// adaptation strategy. Dynamic splitting may split/combine internally. The
+// parent engine's reclaimer is restored afterwards.
+func (m *mergeEngine) mergeSubset(runs []*runInfo) (*runInfo, error) {
+	sub := &mergeEngine{e: m.e, cfg: m.cfg, st: m.st}
+	out, err := sub.mergeRuns(runs)
+	m.e.setReclaimFn(m.reclaim)
+	return out, err
+}
+
+// jointStep executes the final concurrent merge-join of all current runs of
+// both relations. It returns done=false if a memory shortage interrupted it
+// under dynamic splitting (the caller then creates a preliminary step).
+func (j *joinEngine) jointStep() (bool, error) {
+	m := j.m
+	// Synthetic step spanning both relations, for buffer accounting and the
+	// static adaptation strategies.
+	st := &mergeStep{inputs: append(append([]*runInfo(nil), j.left...), j.right...), out: j.out}
+	m.curStep = st
+	defer func() { m.curStep = nil }()
+	lh := headHeap{cmp: &m.cmp}
+	rh := headHeap{cmp: &m.cmp}
+	prime := func(runs []*runInfo, hh *headHeap) (stepResult, error) {
+		for _, r := range runs {
+			if !r.wsValid {
+				if r.exhausted() {
+					continue
+				}
+				res, err := m.advanceRun(st, r)
+				if err != nil {
+					return 0, err
+				}
+				if res == advBlocked {
+					return needAdapt, nil
+				}
+				if res == advDry {
+					continue
+				}
+			}
+			hh.push(r)
+		}
+		return pageProduced, nil
+	}
+
+	for {
+		// Adaptation point (page granularity).
+		if m.cfg.Adapt == DynSplit {
+			m.rebalance(st)
+			target := max(m.e.Mem.Target(), m.cfg.MinPages)
+			if st.need() > target && len(st.inputs) > 2 {
+				if err := m.flushOut(st); err != nil {
+					return false, err
+				}
+				if err := m.waitOut(); err != nil {
+					return false, err
+				}
+				m.dropStepBufs(st)
+				m.st.Splits++
+				return false, nil // caller forms a preliminary step
+			}
+		} else {
+			if err := m.adaptStatic(st); err != nil {
+				return false, err
+			}
+		}
+
+		// (Re)build both head heaps — buffers may have moved underneath us.
+		lh.rs, rh.rs = lh.rs[:0], rh.rs[:0]
+		if res, err := prime(j.left, &lh); err != nil || res == needAdapt {
+			if err != nil {
+				return false, err
+			}
+			m.ensureProgress(st)
+			continue
+		}
+		if res, err := prime(j.right, &rh); err != nil || res == needAdapt {
+			if err != nil {
+				return false, err
+			}
+			m.ensureProgress(st)
+			continue
+		}
+
+		// Merge-join one output page worth, then loop back to adapt.
+		res, err := j.joinSome(st, &lh, &rh)
+		if err != nil {
+			return false, err
+		}
+		switch res {
+		case stepDone:
+			if err := m.flushOut(st); err != nil {
+				return false, err
+			}
+			if err := m.waitOut(); err != nil {
+				return false, err
+			}
+			for _, r := range st.inputs {
+				if err := m.freeRun(r); err != nil {
+					return false, err
+				}
+			}
+			m.st.MergeSteps++
+			return true, nil
+		case needAdapt:
+			m.ensureProgress(st)
+		case pageProduced:
+			// loop
+		}
+	}
+}
+
+// joinSome advances the merge-join until roughly one output page has been
+// produced (or an input blocks / everything is consumed). All state —
+// including a half-processed equal-key group — survives interruption, so a
+// retry after adaptation resumes exactly where it stopped.
+func (j *joinEngine) joinSome(st *mergeStep, lh, rh *headHeap) (stepResult, error) {
+	m := j.m
+	R := m.cfg.PageRecords
+	produced := 0
+	// Bound the non-producing (skip) work per call so adaptation points stay
+	// page-granular even for very selective joins.
+	for steps := 0; produced < R && steps < 8*R; steps++ {
+		if j.groupValid {
+			res, err := j.processGroup(st, lh, rh, &produced)
+			if err != nil || res == needAdapt {
+				return res, err
+			}
+			continue
+		}
+		if len(lh.rs) == 0 || len(rh.rs) == 0 {
+			// One side exhausted, no group pending: no matches remain.
+			if j.drainAll(st, lh) && j.drainAll(st, rh) {
+				return stepDone, nil
+			}
+			return needAdapt, nil
+		}
+		l, r := lh.rs[0], rh.rs[0]
+		switch {
+		case l.ws.Key < r.ws.Key:
+			res, err := m.advanceRun(st, l)
+			if err != nil {
+				return 0, err
+			}
+			if res == advBlocked {
+				return needAdapt, nil
+			}
+			if res == advDry {
+				lh.popRoot()
+			} else {
+				lh.fixRoot()
+			}
+		case l.ws.Key > r.ws.Key:
+			res, err := m.advanceRun(st, r)
+			if err != nil {
+				return 0, err
+			}
+			if res == advBlocked {
+				return needAdapt, nil
+			}
+			if res == advDry {
+				rh.popRoot()
+			} else {
+				rh.fixRoot()
+			}
+		default:
+			// Equal keys: open a group; the next iteration gathers the
+			// right-side records and emits the cross product.
+			j.group = j.group[:0]
+			j.groupKey = l.ws.Key
+			j.groupValid = true
+		}
+	}
+	if err := m.flushOut(st); err != nil {
+		return 0, err
+	}
+	return pageProduced, nil
+}
+
+// processGroup finishes the pending equal-key group: it gathers any
+// remaining right-side records of the key (the gathered copies live in the
+// operator workspace — standard sort-merge-join group handling), emits the
+// cross product with every left record of the key, and closes the group.
+// Interruptions leave the group pending for the next call.
+func (j *joinEngine) processGroup(st *mergeStep, lh, rh *headHeap, produced *int) (stepResult, error) {
+	m := j.m
+	R := m.cfg.PageRecords
+	key := j.groupKey
+	for len(rh.rs) > 0 && rh.rs[0].ws.Key == key {
+		rr := rh.rs[0]
+		j.group = append(j.group, rr.ws)
+		res, err := m.advanceRun(st, rr)
+		if err != nil {
+			return 0, err
+		}
+		if res == advBlocked {
+			return needAdapt, nil
+		}
+		if res == advDry {
+			rh.popRoot()
+		} else {
+			rh.fixRoot()
+		}
+	}
+	for len(lh.rs) > 0 && lh.rs[0].ws.Key == key {
+		ll := lh.rs[0]
+		for _, g := range j.group {
+			payload := make([]byte, 0, len(ll.ws.Payload)+len(g.Payload))
+			payload = append(payload, ll.ws.Payload...)
+			payload = append(payload, g.Payload...)
+			m.outBuf = append(m.outBuf, Record{Key: key, Payload: payload})
+			*produced++
+			m.e.charge(OpCopyTuple, 1)
+			if len(m.outBuf) >= R {
+				if err := m.flushOut(st); err != nil {
+					return 0, err
+				}
+			}
+		}
+		m.e.charge(OpCompare, int64(len(j.group)))
+		// The left record is fully emitted before advancing, and advanceRun
+		// invalidates its workspace first, so a block here cannot double- or
+		// under-emit on retry.
+		res, err := m.advanceRun(st, ll)
+		if err != nil {
+			return 0, err
+		}
+		if res == advBlocked {
+			return needAdapt, nil
+		}
+		if res == advDry {
+			lh.popRoot()
+		} else {
+			lh.fixRoot()
+		}
+	}
+	j.groupValid = false
+	return pageProduced, nil
+}
+
+// drainAll consumes the rest of one side without emitting (no matches
+// remain). Returns false if a load blocked.
+func (j *joinEngine) drainAll(st *mergeStep, hh *headHeap) bool {
+	m := j.m
+	for len(hh.rs) > 0 {
+		r := hh.rs[0]
+		res, err := m.advanceRun(st, r)
+		if err != nil || res == advBlocked {
+			return false
+		}
+		if res == advDry {
+			hh.popRoot()
+		} else {
+			hh.fixRoot()
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/memadapt/masort/internal/randx"
+)
+
+// makeJoinRecords builds records whose keys live in a small space so that
+// joins produce matches.
+func makeJoinRecords(n int, keySpace uint64, seed uint64, tag byte) []Record {
+	rng := randx.New(seed, "join-records")
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: rng.Uint64() % keySpace, Payload: []byte{tag}}
+	}
+	return recs
+}
+
+// expectedJoinSize computes |L ⋈ R| by brute force.
+func expectedJoinSize(l, r []Record) int {
+	counts := map[uint64]int{}
+	for _, x := range r {
+		counts[x.Key]++
+	}
+	n := 0
+	for _, x := range l {
+		n += counts[x.Key]
+	}
+	return n
+}
+
+func joinEnv(t *testing.T, total, floor int) (*Env, *memStore, *scriptedBroker) {
+	store := newMemStore()
+	broker := newScriptedBroker(t, total, floor)
+	env := &Env{Store: store, Mem: broker, Meter: newCountingMeter()}
+	return env, store, broker
+}
+
+func runJoin(t *testing.T, l, r []Record, cfg SortConfig, broker *scriptedBroker, env *Env, store *memStore) *JoinResult {
+	t.Helper()
+	env.In = nil
+	res, err := SortMergeJoin(env, &sliceInput{pages: pagesOf(l, cfg.PageRecords)},
+		&sliceInput{pages: pagesOf(r, cfg.PageRecords)}, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Notation(), err)
+	}
+	out := runRecords(t, store, res.Result)
+	// Output must be sorted by key and exactly the expected multiset size.
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("%s: join output not key-sorted at %d", cfg.Notation(), i)
+		}
+	}
+	if want := expectedJoinSize(l, r); len(out) != want {
+		t.Fatalf("%s: join size = %d, want %d", cfg.Notation(), len(out), want)
+	}
+	if broker.granted != 0 {
+		t.Fatalf("%s: join still holds %d pages", cfg.Notation(), broker.granted)
+	}
+	return res
+}
+
+func TestJoinAllStrategiesFixedMemory(t *testing.T) {
+	l := makeJoinRecords(2000, 512, 3, 'L')
+	r := makeJoinRecords(1000, 512, 4, 'R')
+	for _, cfg := range allConfigs(8) {
+		cfg := cfg
+		t.Run(cfg.Notation(), func(t *testing.T) {
+			env, store, broker := joinEnv(t, 14, 3)
+			res := runJoin(t, l, r, cfg, broker, env, store)
+			if res.Stats.LeftRuns < 2 || res.Stats.RightRuns < 2 {
+				t.Fatalf("expected several runs per side, got %d/%d",
+					res.Stats.LeftRuns, res.Stats.RightRuns)
+			}
+		})
+	}
+}
+
+func TestJoinUnderFluctuation(t *testing.T) {
+	l := makeJoinRecords(3000, 1024, 5, 'L')
+	r := makeJoinRecords(1500, 1024, 6, 'R')
+	for _, cfg := range allConfigs(8) {
+		cfg := cfg
+		t.Run(cfg.Notation(), func(t *testing.T) {
+			env, store, broker := joinEnv(t, 24, 3)
+			broker.script = []targetChange{
+				{200, 8}, {600, 24}, {1500, 4}, {2500, 20}, {4000, 3},
+				{5500, 24}, {7000, 6}, {9000, 24}, {12000, 5}, {15000, 24},
+			}
+			runJoin(t, l, r, cfg, broker, env, store)
+		})
+	}
+}
+
+func TestJoinPayloadConcatenation(t *testing.T) {
+	l := []Record{{Key: 7, Payload: []byte("left-")}}
+	r := []Record{{Key: 7, Payload: []byte("right")}}
+	cfg := DefaultConfig()
+	cfg.PageRecords = 4
+	env, store, broker := joinEnv(t, 10, 3)
+	res := runJoin(t, l, r, cfg, broker, env, store)
+	out := runRecords(t, store, res.Result)
+	if len(out) != 1 || string(out[0].Payload) != "left-right" {
+		t.Fatalf("join payload = %q", out)
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	l := make([]Record, 500)
+	r := make([]Record, 500)
+	for i := range l {
+		l[i] = Record{Key: uint64(i * 2)}   // even keys
+		r[i] = Record{Key: uint64(i*2 + 1)} // odd keys
+	}
+	cfg := DefaultConfig()
+	cfg.PageRecords = 8
+	env, store, broker := joinEnv(t, 10, 3)
+	res := runJoin(t, l, r, cfg, broker, env, store)
+	if res.Tuples != 0 {
+		t.Fatalf("disjoint keys joined %d tuples", res.Tuples)
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	some := makeJoinRecords(300, 64, 9, 'X')
+	cfg := DefaultConfig()
+	cfg.PageRecords = 8
+	for _, tc := range []struct {
+		name string
+		l, r []Record
+	}{{"bothEmpty", nil, nil}, {"leftEmpty", nil, some}, {"rightEmpty", some, nil}} {
+		t.Run(tc.name, func(t *testing.T) {
+			env, store, broker := joinEnv(t, 10, 3)
+			res := runJoin(t, tc.l, tc.r, cfg, broker, env, store)
+			if res.Tuples != 0 {
+				t.Fatalf("joined %d tuples", res.Tuples)
+			}
+		})
+	}
+}
+
+func TestJoinDuplicateHeavy(t *testing.T) {
+	// Many duplicates: cross products must be exact.
+	l := makeJoinRecords(600, 8, 10, 'L')
+	r := makeJoinRecords(400, 8, 11, 'R')
+	cfg := DefaultConfig()
+	cfg.PageRecords = 8
+	env, store, broker := joinEnv(t, 12, 3)
+	runJoin(t, l, r, cfg, broker, env, store)
+}
+
+func TestJoinSideSelectionPrefersSmallerTotal(t *testing.T) {
+	// Left runs much larger than right's: preliminary merges should favor
+	// the right side. We can't observe the choice directly, but the join
+	// must still be correct and make progress with a tiny memory target.
+	l := makeJoinRecords(4000, 2048, 12, 'L')
+	r := makeJoinRecords(800, 2048, 13, 'R')
+	cfg := DefaultConfig()
+	cfg.PageRecords = 8
+	env, store, broker := joinEnv(t, 8, 3)
+	res := runJoin(t, l, r, cfg, broker, env, store)
+	if res.Stats.MergeSteps < 2 {
+		t.Fatalf("tiny memory must force preliminary steps, got %d", res.Stats.MergeSteps)
+	}
+}
+
+func TestChooseJoinSideRules(t *testing.T) {
+	mk := func(pages ...int) []*runInfo {
+		var rs []*runInfo
+		for _, p := range pages {
+			rs = append(rs, &runInfo{pages: p})
+		}
+		return rs
+	}
+	// Both sides have >= k runs: smaller total of k shortest wins.
+	if !chooseJoinSide(mk(1, 1, 9), mk(5, 5, 5), 2) {
+		t.Fatal("left (1+1) should beat right (5+5)")
+	}
+	if chooseJoinSide(mk(9, 9, 9), mk(1, 2, 3), 2) {
+		t.Fatal("right (1+2) should beat left (9+9)")
+	}
+	// Only one side has k runs.
+	if chooseJoinSide(mk(1), mk(4, 4, 4), 3) {
+		t.Fatal("left lacks 3 runs; must pick right")
+	}
+	if !chooseJoinSide(mk(4, 4, 4), mk(1), 3) {
+		t.Fatal("right lacks 3 runs; must pick left")
+	}
+	// Neither has k: the side with more runs.
+	if !chooseJoinSide(mk(4, 4), mk(9), 5) {
+		t.Fatal("left has more runs; must pick left")
+	}
+}
+
+func TestJoinResultSortedByKeyProperty(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		l := makeJoinRecords(700+int(seed)*101, 256, seed*2+1, 'L')
+		r := makeJoinRecords(500+int(seed)*73, 256, seed*2+2, 'R')
+		cfg := allConfigs(8)[int(seed)%18]
+		env, store, broker := joinEnv(t, 16, 3)
+		broker.script = []targetChange{{500, 5}, {1500, 16}, {3000, 4}, {4500, 16}}
+		res := runJoin(t, l, r, cfg, broker, env, store)
+		out := runRecords(t, store, res.Result)
+		keys := make([]uint64, len(out))
+		for i := range out {
+			keys[i] = out[i].Key
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("seed %d: unsorted join output", seed)
+		}
+	}
+}

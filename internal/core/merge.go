@@ -1,0 +1,802 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// mergeStep is one node of the merge plan. Under dynamic splitting the plan
+// is a chain: the root merges everything; when memory shrinks, a
+// preliminary sub-step is split off and becomes active; when memory grows,
+// the active step's parent "drains" the sub-step's output and then absorbs
+// its inputs (paper §3.2.3, Figures 2 and 3).
+type mergeStep struct {
+	inputs []*runInfo
+	out    *runInfo
+	parent *mergeStep
+
+	// drainOf marks combine-in-progress: this step must fully consume
+	// drainOf.out before absorbing drainOf's inputs.
+	drainOf *mergeStep
+}
+
+// need returns the step's buffer requirement: one page per input run plus
+// one output page.
+func (s *mergeStep) need() int { return len(s.inputs) + 1 }
+
+// stepResult tells the engine why page production stopped.
+type stepResult int
+
+const (
+	pageProduced stepResult = iota // one output page flushed; keep going
+	stepDone                       // all inputs exhausted; step complete
+	drainEmpty                     // the drained run is empty: absorb now
+	needAdapt                      // memory shortage mid-page: adapt first
+)
+
+// mergeEngine executes the merge phase of one sort against an Env.
+type mergeEngine struct {
+	e   *Env
+	cfg SortConfig
+	st  *SortStats
+
+	active  *mergeStep
+	curStep *mergeStep // step whose buffers the reclaimer may take
+
+	outBuf   Page
+	outTok   Token
+	mruClock int64
+	cmp      int64 // comparison charges accumulated between flushes
+}
+
+// mergeRuns merges runs into a single result run under the configured
+// merging strategy and adaptation strategy.
+func (m *mergeEngine) mergeRuns(runs []*runInfo) (*runInfo, error) {
+	m.e.setReclaimFn(m.reclaim)
+	defer m.e.setReclaimFn(nil)
+	if m.cfg.Adapt == DynSplit {
+		return m.runDynamic(runs)
+	}
+	return m.runStatic(runs)
+}
+
+// reclaim is invoked synchronously by the buffer manager when a competing
+// request arrives: clean input buffers (and any unpinned surplus) are given
+// up immediately. The run cursors live in workspace records, so dropping a
+// buffer never loses the merge position — only its later re-read costs I/O.
+func (m *mergeEngine) reclaim(need int) int {
+	st := m.active
+	if st == nil {
+		st = m.curStep
+	}
+	yielded := 0
+	held := 1 // never give up the output buffer
+	if st != nil {
+		held = m.heldPages(st)
+	}
+	if free := m.e.Mem.Granted() - held; free > 0 {
+		y := min(free, need)
+		m.e.Mem.Yield(y)
+		yielded += y
+	}
+	for yielded < need && st != nil {
+		before := m.heldPages(st)
+		if !m.evictMRU(st) {
+			break
+		}
+		freed := before - m.heldPages(st)
+		y := min(freed, m.e.Mem.Granted())
+		if y <= 0 {
+			break
+		}
+		m.e.Mem.Yield(y)
+		yielded += y
+	}
+	return yielded
+}
+
+func (m *mergeEngine) newOutRun() (*runInfo, error) {
+	id, err := m.e.Store.Create()
+	if err != nil {
+		return nil, err
+	}
+	return &runInfo{id: id}, nil
+}
+
+// ---- static plans (suspension & paging) ----
+
+// runStatic implements static splitting (paper §2.2): the fan-in of each
+// step is fixed when the step starts, from the memory available then; a
+// started step executes to completion, adapting only through suspension or
+// paging. Excess memory beyond the step's requirement goes unused.
+func (m *mergeEngine) runStatic(runs []*runInfo) (*runInfo, error) {
+	pool := append([]*runInfo(nil), runs...)
+	for len(pool) > 1 {
+		// Unpinned surplus between steps is released immediately.
+		if p := m.e.Mem.Pressure(); p > 0 {
+			m.e.Mem.Yield(min(p, m.e.Mem.Granted()))
+		}
+		t := max(m.e.Mem.Target(), m.cfg.MinPages)
+		k := firstStepFanIn(len(pool), t, m.cfg.Merge)
+		chosen, rest := pickRuns(pool, k, !m.cfg.NoShortestFirst)
+		out, err := m.newOutRun()
+		if err != nil {
+			return nil, err
+		}
+		st := &mergeStep{inputs: chosen, out: out}
+		out.producer = st
+		if err := m.executeStep(st); err != nil {
+			return nil, err
+		}
+		pool = append(rest, out)
+	}
+	return pool[0], nil
+}
+
+// executeStep runs one static merge step to completion.
+func (m *mergeEngine) executeStep(st *mergeStep) error {
+	m.curStep = st
+	defer func() { m.curStep = nil }()
+	for {
+		if err := m.adaptStatic(st); err != nil {
+			return err
+		}
+		res, err := m.produceOnePage(st)
+		if err != nil {
+			return err
+		}
+		switch res {
+		case stepDone:
+			return m.finishStep(st)
+		case drainEmpty:
+			return errors.New("core: drain result in static plan")
+		case needAdapt:
+			if err := m.adaptStatic(st); err != nil {
+				return err
+			}
+			m.ensureProgress(st)
+		}
+	}
+}
+
+// adaptStatic handles memory fluctuation between output pages for the
+// suspension and paging strategies.
+func (m *mergeEngine) adaptStatic(st *mergeStep) error {
+	m.rebalance(st)
+	switch m.cfg.Adapt {
+	case Suspend:
+		need := st.need()
+		if m.e.Mem.Target() >= need {
+			return nil
+		}
+		// Suspend: flush the partial output page, drop every buffer, hand
+		// all pages back, and wait for the memory to return.
+		if err := m.flushOut(st); err != nil {
+			return err
+		}
+		if err := m.waitOut(); err != nil {
+			return err
+		}
+		for _, r := range st.inputs {
+			r.drop()
+		}
+		m.e.Mem.Yield(m.e.Mem.Granted())
+		m.st.Suspensions++
+		m.e.emit(EvSuspend, need, "")
+		m.e.Mem.WaitTarget(need)
+		m.e.Mem.Acquire(need - m.e.Mem.Granted())
+		m.e.emit(EvResume, need, "")
+		// Resume: refetch all input buffers together (one elevator sweep).
+		return m.batchLoad(st)
+	case Paging:
+		// Shrink residency to the budget; page faults handle the rest.
+		budget := m.pagingBudget(st)
+		for m.heldPages(st) > budget {
+			if !m.evictMRU(st) {
+				break
+			}
+		}
+		m.rebalance(st)
+		return nil
+	}
+	return nil
+}
+
+// pagingBudget is how many pages the paging strategy may keep resident.
+func (m *mergeEngine) pagingBudget(st *mergeStep) int {
+	b := max(m.e.Mem.Target(), m.cfg.MinPages)
+	return min(b, st.need())
+}
+
+// evictMRU drops the most recently used resident input buffer (the paper's
+// MRU replacement policy for merge paging). Returns false if nothing is
+// resident.
+func (m *mergeEngine) evictMRU(st *mergeStep) bool {
+	var victim *runInfo
+	for _, r := range st.inputs {
+		if r.loaded() == 0 {
+			continue
+		}
+		if victim == nil || r.lastUsed > victim.lastUsed {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.drop()
+	return true
+}
+
+// batchLoad issues reads for every input that needs its current page and
+// waits for all of them (suspension's batched refetch).
+func (m *mergeEngine) batchLoad(st *mergeStep) error {
+	type pend struct {
+		r   *runInfo
+		tok PageToken
+	}
+	var pends []pend
+	for _, r := range st.inputs {
+		if !r.needsLoad() {
+			continue
+		}
+		if !m.ensureSlot(st) {
+			break // shortage right after resume: the next adapt round retries
+		}
+		m.noteRead(r, r.page)
+		pends = append(pends, pend{r, m.e.Store.ReadAsync(r.id, r.page)})
+	}
+	for _, p := range pends {
+		pg, err := p.tok.Wait()
+		if err != nil {
+			return err
+		}
+		p.r.bufs = append(p.r.bufs, pg)
+	}
+	return nil
+}
+
+// ---- dynamic splitting ----
+
+// runDynamic implements the paper's dynamic splitting strategy. The merge
+// phase starts with a single step combining all runs; adaptation splits and
+// combines steps as memory fluctuates.
+func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
+	out, err := m.newOutRun()
+	if err != nil {
+		return nil, err
+	}
+	root := &mergeStep{inputs: append([]*runInfo(nil), runs...), out: out}
+	out.producer = root
+	m.active = root
+	defer func() { m.active = nil }()
+	for {
+		if err := m.adaptDynamic(); err != nil {
+			return nil, err
+		}
+		st := m.active
+		res, err := m.produceOnePage(st)
+		if err != nil {
+			return nil, err
+		}
+		switch res {
+		case stepDone:
+			if err := m.finishStep(st); err != nil {
+				return nil, err
+			}
+			if st.parent == nil {
+				return st.out, nil
+			}
+			m.active = st.parent
+		case drainEmpty:
+			if err := m.absorb(st); err != nil {
+				return nil, err
+			}
+		case needAdapt:
+			if err := m.adaptDynamic(); err != nil {
+				return nil, err
+			}
+			m.ensureProgress(m.active)
+		}
+	}
+}
+
+// adaptDynamic enforces the dynamic-splitting invariant (active step fits in
+// the current target), splits on shrink, and initiates combining on growth.
+func (m *mergeEngine) adaptDynamic() error {
+	st := m.active
+	m.rebalance(st)
+	target := max(m.e.Mem.Target(), m.cfg.MinPages)
+	if st.drainOf != nil {
+		if st.need() > target {
+			// Shrunk mid-combine: abort the drain and fall back to the
+			// preliminary step (its state is untouched — it simply resumes).
+			prelim := st.drainOf
+			st.drainOf = nil
+			if err := m.waitOut(); err != nil {
+				return err
+			}
+			m.dropStepBufs(st)
+			m.active = prelim
+			m.st.Combines-- // the combine did not happen after all
+			m.e.emit(EvCombineAbort, 0, "")
+			return m.adaptDynamic()
+		}
+		return nil
+	}
+	if st.need() > target {
+		return m.splitActive(target)
+	}
+	// Memory grew: combine the active step into its parent if everything
+	// fits (paper Figure 3 — drain the partial output first).
+	if !m.cfg.NoCombine && st.parent != nil {
+		combinedNeed := len(st.parent.inputs) - 1 + len(st.inputs) + 1
+		if combinedNeed <= target {
+			if err := m.waitOut(); err != nil {
+				return err
+			}
+			m.dropStepBufs(st)
+			st.parent.drainOf = st
+			m.active = st.parent
+			m.st.Combines++
+			m.e.emit(EvCombineStart, combinedNeed, "")
+			m.rebalance(st.parent)
+		}
+	}
+	return nil
+}
+
+// splitActive splits the active step until it fits within target pages
+// (paper Figure 2). The sub-step takes the k shortest remaining inputs,
+// where k follows the configured merging strategy.
+func (m *mergeEngine) splitActive(target int) error {
+	st := m.active
+	if err := m.waitOut(); err != nil {
+		return err
+	}
+	for st.need() > target {
+		n := len(st.inputs)
+		k := firstStepFanIn(n, target, m.cfg.Merge)
+		if k >= n {
+			break // cannot shrink further (n == 2 and target == MinPages)
+		}
+		chosen, rest := pickRuns(st.inputs, k, !m.cfg.NoShortestFirst)
+		m.dropStepBufs(st)
+		out, err := m.newOutRun()
+		if err != nil {
+			return err
+		}
+		sub := &mergeStep{inputs: chosen, out: out, parent: st}
+		out.producer = sub
+		st.inputs = append([]*runInfo{out}, rest...)
+		st = sub
+		m.st.Splits++
+		m.e.emit(EvSplitStep, len(chosen), "")
+	}
+	m.active = st
+	m.rebalance(st)
+	return nil
+}
+
+// absorb completes a combine: the drained sub-step's inputs replace its
+// (fully consumed) output run in the parent.
+func (m *mergeEngine) absorb(st *mergeStep) error {
+	prelim := st.drainOf
+	if prelim == nil {
+		return errors.New("core: absorb without drain")
+	}
+	st.drainOf = nil
+	drained := prelim.out
+	if !drained.exhausted() {
+		return fmt.Errorf("core: absorbing non-exhausted run %v", drained)
+	}
+	inputs := st.inputs[:0:0]
+	for _, r := range st.inputs {
+		if r != drained {
+			inputs = append(inputs, r)
+		}
+	}
+	st.inputs = append(inputs, prelim.inputs...)
+	m.e.emit(EvCombineDone, len(st.inputs), "")
+	return m.freeRun(drained)
+}
+
+// ---- shared execution ----
+
+// heldPages counts resident buffers: the output page plus loaded inputs.
+func (m *mergeEngine) heldPages(st *mergeStep) int {
+	h := 1
+	for _, r := range st.inputs {
+		h += r.loaded()
+	}
+	return h
+}
+
+// ensureProgress is called after an adaptation pass when page production
+// still could not obtain a buffer. With a single-operator pool this cannot
+// happen (entitlement implies availability); with a shared pool the
+// operator may be entitled to another page while a sibling still holds it,
+// so we park until the pool changes instead of spinning.
+func (m *mergeEngine) ensureProgress(st *mergeStep) {
+	if st == nil {
+		return
+	}
+	held := m.heldPages(st)
+	g := m.e.Mem.Granted()
+	if g > held {
+		return // an unpinned page is already granted; retry will use it
+	}
+	if m.e.Mem.Target() <= held {
+		return // not entitled to more: the adaptation strategy handles it
+	}
+	if m.e.Mem.Acquire(held+1-g) > 0 {
+		return
+	}
+	m.e.Mem.WaitChange()
+}
+
+// shedReadAhead drops up to n tail read-ahead pages (never a run's current
+// page), freeing grant room. They will be re-read later — counted as extra
+// merge I/O. Returns the number of pages freed.
+func (m *mergeEngine) shedReadAhead(st *mergeStep, n int) int {
+	freed := 0
+	for freed < n {
+		var victim *runInfo
+		for _, r := range st.inputs {
+			if r.loaded() > 1 && (victim == nil || r.loaded() > victim.loaded()) {
+				victim = r
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.bufs = victim.bufs[:len(victim.bufs)-1]
+		freed++
+	}
+	return freed
+}
+
+// rebalance releases unpinned granted pages when the broker wants them back.
+// Merge-phase releases are immediate (paper: merge delays < 1 ms) since
+// input buffers are clean; read-ahead buffers beyond each run's current
+// page are shed first when needed.
+func (m *mergeEngine) rebalance(st *mergeStep) {
+	p := m.e.Mem.Pressure()
+	if p <= 0 {
+		return
+	}
+	free := m.e.Mem.Granted() - m.heldPages(st)
+	if free > 0 {
+		y := min(free, p)
+		m.e.Mem.Yield(y)
+		p -= y
+	}
+	if p > 0 {
+		if freed := m.shedReadAhead(st, p); freed > 0 {
+			m.e.Mem.Yield(min(freed, m.e.Mem.Granted()))
+		}
+	}
+}
+
+// dropStepBufs releases every resident input buffer of st (used when the
+// step is deactivated; reloading later is the step-switch overhead the
+// paper describes).
+func (m *mergeEngine) dropStepBufs(st *mergeStep) {
+	for _, r := range st.inputs {
+		r.drop()
+	}
+	m.rebalance(st)
+}
+
+// ensureSlot makes room for loading one more page. Under paging it evicts
+// the MRU buffer when at budget; otherwise it acquires from the broker and
+// reports false if the target does not allow another page.
+func (m *mergeEngine) ensureSlot(st *mergeStep) bool {
+	held := m.heldPages(st)
+	if m.cfg.Adapt == Paging {
+		if held >= m.pagingBudget(st) {
+			if !m.evictMRU(st) {
+				return false
+			}
+			held = m.heldPages(st)
+		}
+	}
+	g := m.e.Mem.Granted()
+	if g >= held+1 {
+		return true
+	}
+	m.e.Mem.Acquire(held + 1 - g)
+	if m.e.Mem.Granted() >= held+1 {
+		return true
+	}
+	// The grant cannot grow (target shrank under our buffers): make room by
+	// shedding read-ahead pages loaded when memory was plentiful.
+	if m.shedReadAhead(st, held+1-m.e.Mem.Granted()) > 0 {
+		return m.e.Mem.Granted() >= m.heldPages(st)+1
+	}
+	return false
+}
+
+// readAhead returns how many pages to load per input at a time. The
+// adaptive-block-I/O extension (paper §7 future work) spends surplus pages
+// on read-ahead; classic behavior is one page.
+func (m *mergeEngine) readAhead(st *mergeStep) int {
+	if !m.cfg.AdaptiveBlockIO || m.cfg.Adapt == Paging {
+		return 1
+	}
+	surplus := m.e.Mem.Target() - st.need()
+	if surplus <= 0 {
+		return 1
+	}
+	extra := surplus / max(len(st.inputs), 1)
+	return 1 + min(extra, 7)
+}
+
+func (m *mergeEngine) noteRead(r *runInfo, page int) {
+	m.st.MergePagesRead++
+	if page < r.hiLoaded {
+		m.st.ExtraMergeReads++
+	} else {
+		r.hiLoaded = page + 1
+	}
+}
+
+// load brings up to `ahead` consecutive pages of r into memory. Returns
+// ok=false if no buffer slot could be obtained for the first page. A fetched
+// page is discarded (I/O cost still paid) if the reclaimer took the buffers
+// underneath it while the read was in flight; the outer loop then retries.
+func (m *mergeEngine) load(st *mergeStep, r *runInfo, ahead int) (bool, error) {
+	for r.needsLoad() {
+		n := r.pages - r.page
+		if n > ahead {
+			n = ahead
+		}
+		type pendingRead struct {
+			idx int
+			tok PageToken
+		}
+		var toks []pendingRead
+		for i := 0; i < n; i++ {
+			if !m.ensureSlot(st) {
+				if len(toks) > 0 {
+					break // partial read-ahead is fine
+				}
+				return false, nil
+			}
+			idx := r.page + len(r.bufs) + len(toks)
+			m.noteRead(r, idx)
+			toks = append(toks, pendingRead{idx, m.e.Store.ReadAsync(r.id, idx)})
+		}
+		for _, pr := range toks {
+			pg, err := pr.tok.Wait()
+			if err != nil {
+				return false, err
+			}
+			if pr.idx == r.page+len(r.bufs) {
+				r.bufs = append(r.bufs, pg)
+			}
+		}
+	}
+	return true, nil
+}
+
+// flushOut appends the (possibly partial) output buffer to the step's
+// output run asynchronously, waiting for the previous flush first.
+func (m *mergeEngine) flushOut(st *mergeStep) error {
+	if len(m.outBuf) == 0 {
+		return nil
+	}
+	pg := m.outBuf
+	m.outBuf = nil
+	if err := m.waitOut(); err != nil {
+		return err
+	}
+	tok, err := m.e.Store.Append(st.out.id, []Page{pg})
+	if err != nil {
+		return err
+	}
+	m.outTok = tok
+	st.out.pages++
+	st.out.tuples += len(pg)
+	m.st.MergePagesWritten++
+	m.e.charge(OpCopyTuple, int64(len(pg)))
+	m.e.charge(OpCompare, m.cmp)
+	m.cmp = 0
+	return nil
+}
+
+func (m *mergeEngine) waitOut() error {
+	if m.outTok == nil {
+		return nil
+	}
+	err := m.outTok.Wait()
+	m.outTok = nil
+	return err
+}
+
+// finishStep completes a step: waits for the last write, frees the consumed
+// input runs and marks the output complete.
+func (m *mergeEngine) finishStep(st *mergeStep) error {
+	if err := m.flushOut(st); err != nil {
+		return err
+	}
+	if err := m.waitOut(); err != nil {
+		return err
+	}
+	for _, r := range st.inputs {
+		if r.producer != nil {
+			return fmt.Errorf("core: finishing step with live producer on %v", r)
+		}
+		if err := m.freeRun(r); err != nil {
+			return err
+		}
+	}
+	st.out.producer = nil
+	m.st.MergeSteps++
+	m.e.emit(EvStepDone, len(st.inputs), "")
+	if g := m.e.Mem.Granted(); g > m.st.MaxGranted {
+		m.st.MaxGranted = g
+	}
+	return nil
+}
+
+func (m *mergeEngine) freeRun(r *runInfo) error {
+	if r.freed {
+		return nil
+	}
+	r.freed = true
+	r.drop()
+	return m.e.Store.Free(r.id)
+}
+
+// headHeap is a min-heap over the current records of loaded runs, playing
+// the selection tree's role; its comparison count is charged to the CPU.
+type headHeap struct {
+	rs  []*runInfo
+	cmp *int64
+}
+
+func (h *headHeap) less(i, j int) bool {
+	*h.cmp++
+	return Less(h.rs[i].ws, h.rs[j].ws)
+}
+
+func (h *headHeap) push(r *runInfo) {
+	h.rs = append(h.rs, r)
+	i := len(h.rs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.rs[i], h.rs[p] = h.rs[p], h.rs[i]
+		i = p
+	}
+}
+
+func (h *headHeap) fixRoot() {
+	i := 0
+	n := len(h.rs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.rs[i], h.rs[s] = h.rs[s], h.rs[i]
+		i = s
+	}
+}
+
+func (h *headHeap) popRoot() {
+	n := len(h.rs) - 1
+	h.rs[0] = h.rs[n]
+	h.rs = h.rs[:n]
+	if n > 0 {
+		h.fixRoot()
+	}
+}
+
+type advResult int
+
+const (
+	advOK      advResult = iota // workspace refilled with the next record
+	advDry                      // no stored records remain (for now)
+	advBlocked                  // memory shortage: cannot load the page
+)
+
+// advanceRun consumes the workspace record and refills it with the run's
+// next stored record, loading its page if necessary. The workspace is
+// invalidated first, so a blocked refill never duplicates records.
+func (m *mergeEngine) advanceRun(st *mergeStep, r *runInfo) (advResult, error) {
+	r.wsValid = false
+	if r.needsLoad() {
+		ok, err := m.load(st, r, m.readAhead(st))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return advBlocked, nil
+		}
+	}
+	if len(r.bufs) > 0 {
+		r.lastUsed = m.mruClock
+		m.mruClock++
+	}
+	if r.refill() {
+		return advOK, nil
+	}
+	return advDry, nil
+}
+
+// produceOnePage merges tuples from the step's inputs until one output page
+// is filled and flushed. It returns early with drainEmpty when the drained
+// run empties (correctness requires absorbing before emitting more) or
+// needAdapt when a buffer cannot be loaded under the current memory.
+func (m *mergeEngine) produceOnePage(st *mergeStep) (stepResult, error) {
+	R := m.cfg.PageRecords
+	var drainRun *runInfo
+	if st.drainOf != nil {
+		drainRun = st.drainOf.out
+	}
+	hh := headHeap{cmp: &m.cmp}
+	for _, r := range st.inputs {
+		if !r.wsValid {
+			if r.exhausted() {
+				continue
+			}
+			res, err := m.advanceRun(st, r)
+			if err != nil {
+				return 0, err
+			}
+			if res == advBlocked {
+				return needAdapt, nil
+			}
+			if res == advDry {
+				continue
+			}
+		}
+		hh.push(r)
+	}
+	if drainRun != nil && drainRun.exhausted() {
+		return drainEmpty, nil
+	}
+	if len(hh.rs) == 0 {
+		return stepDone, nil
+	}
+	for len(m.outBuf) < R && len(hh.rs) > 0 {
+		r := hh.rs[0]
+		m.outBuf = append(m.outBuf, r.ws)
+		res, err := m.advanceRun(st, r)
+		if err != nil {
+			return 0, err
+		}
+		switch res {
+		case advOK:
+			hh.fixRoot()
+		case advBlocked:
+			if err := m.flushOut(st); err != nil {
+				return 0, err
+			}
+			return needAdapt, nil
+		case advDry:
+			hh.popRoot()
+			if r == drainRun {
+				if err := m.flushOut(st); err != nil {
+					return 0, err
+				}
+				return drainEmpty, nil
+			}
+		}
+	}
+	if err := m.flushOut(st); err != nil {
+		return 0, err
+	}
+	return pageProduced, nil
+}

@@ -1,0 +1,45 @@
+// Package core implements the VLDB'93 memory-adaptive external sorting
+// algorithms: the three split-phase in-memory sorting methods (Quicksort,
+// replacement selection, replacement selection with block writes), the two
+// merging strategies (naive and optimized), the three merge-phase adaptation
+// strategies (suspension, MRU paging, and dynamic splitting — the paper's
+// contribution), and their extension to sort-merge joins.
+//
+// The algorithms are written against the Env abstraction (input stream, run
+// store, memory broker, CPU meter, clock), so the identical code runs both
+// in the discrete-event simulator that reproduces the paper's experiments
+// (internal/simenv) and in the real execution engine exposed by the public
+// masort package.
+package core
+
+import "bytes"
+
+// Key is the sort key. Records order by Key first, then by Payload bytes.
+type Key = uint64
+
+// Record is one tuple.
+type Record struct {
+	Key     Key
+	Payload []byte
+}
+
+// Less reports whether a orders before b.
+func Less(a, b Record) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return bytes.Compare(a.Payload, b.Payload) < 0
+}
+
+// Page is one disk page worth of records. Pages within a run are full except
+// possibly the last one (or pages flushed early during an adaptation, which
+// the paper's model also permits).
+type Page []Record
+
+// PagesForTuples returns how many pages n tuples occupy at r records/page.
+func PagesForTuples(n, r int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + r - 1) / r
+}

@@ -1,0 +1,80 @@
+package core
+
+// rsItem is a heap entry for replacement selection: records are ordered by
+// run tag first, so tuples destined for the next run sink below everything
+// still eligible for the current one (Knuth vol. 3's classic scheme).
+type rsItem struct {
+	run int
+	rec Record
+}
+
+// rsHeap is a binary min-heap of rsItems that counts its comparisons so the
+// caller can charge them to the simulated CPU.
+type rsHeap struct {
+	items    []rsItem
+	compares int64
+}
+
+func (h *rsHeap) Len() int { return len(h.items) }
+
+// TakeCompares returns comparisons performed since the last call.
+func (h *rsHeap) TakeCompares() int64 {
+	c := h.compares
+	h.compares = 0
+	return c
+}
+
+func (h *rsHeap) less(i, j int) bool {
+	h.compares++
+	a, b := h.items[i], h.items[j]
+	if a.run != b.run {
+		return a.run < b.run
+	}
+	return Less(a.rec, b.rec)
+}
+
+// Push inserts an item.
+func (h *rsHeap) Push(it rsItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Peek returns the minimum without removing it. Panics on empty heap.
+func (h *rsHeap) Peek() rsItem { return h.items[0] }
+
+// Pop removes and returns the minimum. Panics on empty heap.
+func (h *rsHeap) Pop() rsItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *rsHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

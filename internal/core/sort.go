@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// SortResult is the outcome of one external sort: the identity of the final
+// sorted run plus execution statistics.
+type SortResult struct {
+	Result RunID
+	Pages  int
+	Tuples int
+	Stats  SortStats
+}
+
+// MergeExisting merges already-sorted runs that live in e.Store into one
+// run, under the configured merging strategy and memory-adaptation strategy
+// — the merge phase of an external sort exposed on its own (useful for
+// compaction-style workloads). The input runs are consumed: they are freed
+// as the merge retires them. With a single input run, that run is returned
+// unchanged.
+func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &SortStats{}
+	t0 := e.now()
+	e.setPhase("merge")
+	var result *runInfo
+	switch len(ids) {
+	case 0:
+		id, err := e.Store.Create()
+		if err != nil {
+			return nil, err
+		}
+		result = &runInfo{id: id}
+	case 1:
+		result = &runInfo{id: ids[0], pages: e.Store.Pages(ids[0])}
+	default:
+		runs := make([]*runInfo, len(ids))
+		for i, id := range ids {
+			runs[i] = &runInfo{id: id, pages: e.Store.Pages(id)}
+		}
+		m := &mergeEngine{e: e, cfg: cfg, st: st}
+		var err error
+		result, err = m.mergeRuns(runs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.MergeDuration = e.now() - t0
+	st.Response = st.MergeDuration
+	e.setPhase("idle")
+	if g := e.Mem.Granted(); g > 0 {
+		e.Mem.Yield(g)
+	}
+	return &SortResult{
+		Result: result.id,
+		Pages:  result.pages,
+		Tuples: result.tuples,
+		Stats:  *st,
+	}, nil
+}
+
+// ExternalSort sorts e.In under cfg, writing the final sorted run into
+// e.Store. It adapts its memory usage to e.Mem throughout — the paper's
+// memory-adaptive external sort.
+func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &SortStats{}
+	t0 := e.now()
+
+	runs, err := splitPhase(e, cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	st.SplitDuration = e.now() - t0
+
+	e.setPhase("merge")
+	tm := e.now()
+	var result *runInfo
+	switch len(runs) {
+	case 0:
+		// Empty input still yields a (empty) result run.
+		id, err := e.Store.Create()
+		if err != nil {
+			return nil, err
+		}
+		result = &runInfo{id: id}
+	case 1:
+		result = runs[0]
+	default:
+		m := &mergeEngine{e: e, cfg: cfg, st: st}
+		result, err = m.mergeRuns(runs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.MergeDuration = e.now() - tm
+	st.Response = e.now() - t0
+	e.setPhase("idle")
+
+	// Hand every page back before completing.
+	if g := e.Mem.Granted(); g > 0 {
+		e.Mem.Yield(g)
+	}
+	if result.tuples != st.TuplesIn {
+		return nil, fmt.Errorf("core: sort lost tuples: in %d, out %d", st.TuplesIn, result.tuples)
+	}
+	return &SortResult{
+		Result: result.id,
+		Pages:  result.pages,
+		Tuples: result.tuples,
+		Stats:  *st,
+	}, nil
+}

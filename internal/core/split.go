@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"sort"
+)
+
+// splitPhase runs the configured in-memory sorting method over e.In and
+// produces the initial set of sorted runs (paper §2.1, §3.1).
+func splitPhase(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
+	e.setPhase("split")
+	if cfg.Method == Quick {
+		return quickSplit(e, cfg, st)
+	}
+	return replSplit(e, cfg, st)
+}
+
+func countRecs(pages []Page) int {
+	n := 0
+	for _, p := range pages {
+		n += len(p)
+	}
+	return n
+}
+
+// writeRun materializes recs as a brand-new run in one asynchronous append,
+// waiting for durability before returning (a Quicksort run's buffers are
+// only reusable once the whole run is on disk, paper footnote 1).
+func writeRun(e *Env, recs []Record, pageRecords int) (*runInfo, error) {
+	id, err := e.Store.Create()
+	if err != nil {
+		return nil, err
+	}
+	var pages []Page
+	for len(recs) > 0 {
+		n := min(pageRecords, len(recs))
+		pages = append(pages, Page(recs[:n:n]))
+		recs = recs[n:]
+	}
+	tok, err := e.Store.Append(id, pages)
+	if err != nil {
+		return nil, err
+	}
+	if err := tok.Wait(); err != nil {
+		return nil, err
+	}
+	return &runInfo{id: id, pages: len(pages), tuples: countRecs(pages)}, nil
+}
+
+// quickSplit implements the Quicksort split phase: fill all granted memory
+// with input pages, sort a (key,pointer) list, write the result out as one
+// run. It reacts to memory growth while filling; under pressure it must
+// finish sorting and writing the current contents before freeing anything —
+// the paper's explanation for Quicksort's long split-phase delays.
+func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
+	var runs []*runInfo
+	inputDone := false
+	for !inputDone {
+		var mem []Page
+		tuples := 0
+		for {
+			// Exploit extra memory immediately while filling (paper §3.1).
+			if g := e.Mem.Target() - e.Mem.Granted(); g > 0 {
+				e.Mem.Acquire(g)
+			}
+			if e.Mem.Granted() == 0 {
+				// Entitled but the (shared) pool is empty: wait rather than
+				// spin. A single-operator pool never reaches this state.
+				e.Mem.WaitChange()
+				continue
+			}
+			if p := e.Mem.Pressure(); p > 0 {
+				if len(mem) == 0 {
+					// No tuples pinned: pages can be released instantly.
+					e.Mem.Yield(p)
+					continue
+				}
+				break // sort & write everything first, then satisfy the request
+			}
+			if len(mem) >= e.Mem.Granted() {
+				break
+			}
+			pg, ok, err := e.In.NextPage()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				inputDone = true
+				break
+			}
+			mem = append(mem, pg)
+			tuples += len(pg)
+			st.PagesIn++
+			st.TuplesIn += len(pg)
+		}
+		if tuples == 0 {
+			continue
+		}
+		// Sort the (key,pointer) list.
+		recs := make([]Record, 0, tuples)
+		for _, p := range mem {
+			recs = append(recs, p...)
+		}
+		e.charge(OpBuildEntry, int64(tuples))
+		var cmp int64
+		sort.Slice(recs, func(i, j int) bool { cmp++; return Less(recs[i], recs[j]) })
+		e.charge(OpCompare, cmp)
+		e.charge(OpSwapEntry, cmp/2) // pointer swaps, ~half the comparisons
+		// Gather tuples through the pointers into output pages.
+		e.charge(OpCopyTuple, int64(tuples))
+		ri, err := writeRun(e, recs, cfg.PageRecords)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, ri)
+		st.Runs++
+		st.RunPagesWritten += ri.pages
+		if g := e.Mem.Granted(); g > st.MaxGranted {
+			st.MaxGranted = g
+		}
+		// The run is durable: release whatever is being demanded.
+		if p := e.Mem.Pressure(); p > 0 {
+			e.Mem.Yield(p)
+		}
+	}
+	return runs, nil
+}
+
+// replSplit implements replacement selection with N-page block writes
+// (N = cfg.BlockPages; N=1 is the paper's repl1, N=6 its repl6). Memory is
+// divided into one input buffer, an N-page output block and the heap. Under
+// pressure it writes out just enough pages to satisfy the request —
+// flushed-but-unrefilled block pages count as free, which is why blockwise
+// replacement selection answers memory requests fastest (paper §5.2).
+func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
+	R := cfg.PageRecords
+	h := &rsHeap{}
+	var runs []*runInfo
+	var (
+		cur       *runInfo
+		curTag    int
+		curLast   Record
+		curOpen   bool
+		outTok    Token
+		inputDone bool
+	)
+	heapPages := func() int { return PagesForTuples(h.Len(), R) }
+	// The heap may occupy all granted pages; extraction of an N-page block
+	// transiently frees N pages that refill from the input. This matches
+	// the paper's accounting (average run length ≈ 2M − N pages; at N = M
+	// the method degenerates to filling memory and writing it out, §2.1).
+	effBlock := func() int {
+		return min(cfg.BlockPages, max(1, e.Mem.Granted()))
+	}
+	capPages := func() int {
+		return max(1, e.Mem.Granted())
+	}
+	waitOut := func() error {
+		if outTok == nil {
+			return nil
+		}
+		err := outTok.Wait()
+		outTok = nil
+		return err
+	}
+	closeRun := func() error {
+		if err := waitOut(); err != nil {
+			return err
+		}
+		if cur != nil {
+			runs = append(runs, cur)
+			st.Runs++
+			cur = nil
+		}
+		curTag++
+		curOpen = false
+		return nil
+	}
+	// emitBlock extracts up to maxPages pages of current-run tuples and
+	// appends them to the current run; reports whether the run ended.
+	emitBlock := func(maxPages int) (ended bool, err error) {
+		if h.Len() == 0 {
+			return inputDone, nil
+		}
+		if h.Peek().run != curTag {
+			return true, nil
+		}
+		var pages []Page
+		for len(pages) < maxPages && h.Len() > 0 && h.Peek().run == curTag {
+			pg := make(Page, 0, R)
+			for len(pg) < R && h.Len() > 0 && h.Peek().run == curTag {
+				it := h.Pop()
+				pg = append(pg, it.rec)
+				curLast = it.rec
+				curOpen = true
+			}
+			pages = append(pages, pg)
+			if len(pg) < R {
+				break // run boundary inside the page
+			}
+		}
+		e.charge(OpCompare, h.TakeCompares())
+		e.charge(OpCopyTuple, int64(countRecs(pages)))
+		if cur == nil {
+			id, err := e.Store.Create()
+			if err != nil {
+				return false, err
+			}
+			cur = &runInfo{id: id}
+		}
+		// At most one block write in flight: reuse of the output buffers
+		// must wait for the previous write to land.
+		if err := waitOut(); err != nil {
+			return false, err
+		}
+		tok, err := e.Store.Append(cur.id, pages)
+		if err != nil {
+			return false, err
+		}
+		outTok = tok
+		cur.pages += len(pages)
+		cur.tuples += countRecs(pages)
+		st.RunPagesWritten += len(pages)
+		ended = (h.Len() == 0 && inputDone) || (h.Len() > 0 && h.Peek().run != curTag)
+		return ended, nil
+	}
+
+	for {
+		if g := e.Mem.Target() - e.Mem.Granted(); g > 0 {
+			e.Mem.Acquire(g)
+		}
+		if e.Mem.Granted() == 0 && !(inputDone && h.Len() == 0) {
+			// Entitled but the (shared) pool is empty: wait rather than spin.
+			e.Mem.WaitChange()
+			continue
+		}
+		if g := e.Mem.Granted(); g > st.MaxGranted {
+			st.MaxGranted = g
+		}
+		if p := e.Mem.Pressure(); p > 0 {
+			// Write out just enough pages; flushed block pages that have not
+			// been refilled yet count as free slack.
+			for {
+				slack := capPages() - heapPages()
+				if slack < 0 {
+					slack = 0
+				}
+				if p-slack <= 0 || h.Len() == 0 {
+					break
+				}
+				ended, err := emitBlock(p - slack)
+				if err != nil {
+					return nil, err
+				}
+				if ended {
+					if err := closeRun(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := waitOut(); err != nil {
+				return nil, err
+			}
+			y := min(p, e.Mem.Granted())
+			e.Mem.Yield(y)
+			continue
+		}
+		if !inputDone && heapPages() < capPages() {
+			pg, ok, err := e.In.NextPage()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				inputDone = true
+				continue
+			}
+			st.PagesIn++
+			st.TuplesIn += len(pg)
+			for _, rec := range pg {
+				tag := curTag
+				if curOpen && Less(rec, curLast) {
+					tag = curTag + 1
+				}
+				h.Push(rsItem{run: tag, rec: rec})
+			}
+			e.charge(OpCompare, h.TakeCompares())
+			e.charge(OpCopyTuple, int64(len(pg)))
+			continue
+		}
+		if h.Len() == 0 {
+			if inputDone {
+				break
+			}
+			return nil, errors.New("core: replacement selection stuck with empty heap")
+		}
+		ended, err := emitBlock(effBlock())
+		if err != nil {
+			return nil, err
+		}
+		if ended {
+			if err := closeRun(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := waitOut(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		runs = append(runs, cur)
+		st.Runs++
+	}
+	return runs, nil
+}

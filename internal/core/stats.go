@@ -1,0 +1,53 @@
+package core
+
+import "time"
+
+// SortStats reports what one external sort did — the quantities the paper's
+// tables and figures are built from.
+type SortStats struct {
+	// TuplesIn and PagesIn measure the input consumed by the split phase.
+	TuplesIn int
+	PagesIn  int
+
+	// Runs is the number of sorted runs the split phase produced
+	// (Table 6 / Table 8).
+	Runs int
+
+	// MergeSteps counts completed merge steps, including the final one.
+	MergeSteps int
+
+	// SplitDuration and MergeDuration are the phase times; Response is the
+	// total (the paper's performance metric).
+	SplitDuration time.Duration
+	MergeDuration time.Duration
+	Response      time.Duration
+
+	// RunPagesWritten counts pages written into runs during the split phase;
+	// MergePagesRead / MergePagesWritten count merge-phase traffic.
+	RunPagesWritten   int
+	MergePagesRead    int
+	MergePagesWritten int
+
+	// ExtraMergeReads counts re-reads caused by adaptation: MRU paging
+	// faults and buffer reloads after dynamic-splitting step switches.
+	ExtraMergeReads int
+
+	// Splits / Combines / Suspensions count adaptation actions taken during
+	// the merge phase.
+	Splits      int
+	Combines    int
+	Suspensions int
+
+	// MaxGranted tracks the high-water mark of pages held.
+	MaxGranted int
+}
+
+// JoinStats extends SortStats for sort-merge joins.
+type JoinStats struct {
+	SortStats
+	// LeftRuns/RightRuns are the runs produced per relation.
+	LeftRuns  int
+	RightRuns int
+	// ResultTuples counts emitted join matches.
+	ResultTuples int
+}

@@ -1,0 +1,62 @@
+// Package cpumodel simulates the paper's single FCFS CPU (Table 3:
+// 20 MIPS) and its per-operation instruction costs (Table 4, taken from the
+// Gamma database machine). The exact instruction counts in the paper's
+// Table 4 are unreadable in the available scan; DefaultCosts uses calibrated
+// Gamma-era values — see DESIGN.md. Only the relative weights matter for the
+// reproduced result shapes.
+package cpumodel
+
+import (
+	"time"
+
+	"github.com/memadapt/masort/internal/sim"
+)
+
+// CostTable gives instruction counts per operation.
+type CostTable struct {
+	Compare    int64 // compare two sort keys
+	CopyTuple  int64 // copy one 256-byte tuple between buffers / heap
+	BuildEntry int64 // build one (key, pointer) entry for Quicksort
+	SwapEntry  int64 // swap two (key, pointer) entries during Quicksort
+	StartIO    int64 // initiate one disk request
+	FixPage    int64 // per-page buffer handling (fix/unfix, header bookkeeping)
+}
+
+// DefaultCosts returns the calibrated Gamma-style instruction counts.
+func DefaultCosts() CostTable {
+	return CostTable{
+		Compare:    60,
+		CopyTuple:  120,
+		BuildEntry: 50,
+		SwapEntry:  40,
+		StartIO:    3000,
+		FixPage:    600,
+	}
+}
+
+// CPU is a single FCFS processor.
+type CPU struct {
+	res  *sim.Resource
+	mips float64
+}
+
+// New creates a CPU with the given MIPS rating (paper default: 20).
+func New(s *sim.Sim, mips float64) *CPU {
+	if mips <= 0 {
+		mips = 20
+	}
+	return &CPU{res: sim.NewResource(s), mips: mips}
+}
+
+// Charge makes p execute instr instructions: it queues FCFS for the CPU and
+// holds it for instr/MIPS microseconds of simulated time.
+func (c *CPU) Charge(p *sim.Proc, instr int64) {
+	if instr <= 0 {
+		return
+	}
+	d := time.Duration(float64(instr) / c.mips * float64(time.Microsecond))
+	c.res.Use(p, d)
+}
+
+// BusyTime returns accumulated CPU busy time, for utilization metrics.
+func (c *CPU) BusyTime() sim.Time { return c.res.BusyTime }

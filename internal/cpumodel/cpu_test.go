@@ -1,0 +1,73 @@
+package cpumodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/memadapt/masort/internal/sim"
+)
+
+func TestChargeDuration(t *testing.T) {
+	s := sim.New()
+	c := New(s, 20) // 20 MIPS: 1 instruction = 0.05 µs
+	var end sim.Time
+	s.Spawn("p", func(p *sim.Proc) {
+		c.Charge(p, 20_000_000) // 20M instructions at 20 MIPS = 1 s
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != time.Second {
+		t.Fatalf("20M instr at 20 MIPS took %v, want 1s", end)
+	}
+}
+
+func TestChargeZeroIsFree(t *testing.T) {
+	s := sim.New()
+	c := New(s, 20)
+	s.Spawn("p", func(p *sim.Proc) {
+		c.Charge(p, 0)
+		c.Charge(p, -5)
+		if p.Now() != 0 {
+			t.Errorf("zero charge advanced clock to %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCFSContention(t *testing.T) {
+	s := sim.New()
+	c := New(s, 1) // 1 MIPS: 1M instr = 1 s
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("p", func(p *sim.Proc) {
+			c.Charge(p, 1_000_000)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if c.BusyTime() != 3*time.Second {
+		t.Fatalf("busy = %v", c.BusyTime())
+	}
+}
+
+func TestDefaultCostsSanity(t *testing.T) {
+	ct := DefaultCosts()
+	if ct.Compare <= 0 || ct.CopyTuple <= 0 || ct.StartIO <= 0 {
+		t.Fatal("cost table must be positive")
+	}
+	if ct.CopyTuple <= ct.Compare {
+		t.Fatal("copying a 256B tuple must cost more than one comparison")
+	}
+}

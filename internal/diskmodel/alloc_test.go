@@ -1,0 +1,181 @@
+package diskmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFirstFit(t *testing.T) {
+	a := NewExtentAlloc(100)
+	s1, ok := a.Alloc(10)
+	if !ok || s1 != 0 {
+		t.Fatalf("first alloc = (%d,%v), want (0,true)", s1, ok)
+	}
+	s2, ok := a.Alloc(20)
+	if !ok || s2 != 10 {
+		t.Fatalf("second alloc = (%d,%v), want (10,true)", s2, ok)
+	}
+	if a.InUse() != 30 {
+		t.Fatalf("inUse = %d", a.InUse())
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	a := NewExtentAlloc(100)
+	s1, _ := a.Alloc(30)
+	s2, _ := a.Alloc(30)
+	s3, _ := a.Alloc(40)
+	a.Free(s1, 30)
+	a.Free(s3, 40)
+	a.Free(s2, 30) // middle: must coalesce into a single 100-page extent
+	if a.InUse() != 0 {
+		t.Fatalf("inUse = %d, want 0", a.InUse())
+	}
+	if s, ok := a.Alloc(100); !ok || s != 0 {
+		t.Fatalf("full realloc failed: (%d,%v) — coalescing broken", s, ok)
+	}
+}
+
+func TestAllocTooBigFails(t *testing.T) {
+	a := NewExtentAlloc(50)
+	if _, ok := a.Alloc(51); ok {
+		t.Fatal("oversized alloc must fail")
+	}
+	if _, ok := a.Alloc(50); !ok {
+		t.Fatal("exact-size alloc must succeed")
+	}
+	if _, ok := a.Alloc(1); ok {
+		t.Fatal("alloc from empty pool must fail")
+	}
+}
+
+func TestAllocUpToPartial(t *testing.T) {
+	a := NewExtentAlloc(100)
+	a.Alloc(40) // [0,40)
+	s2, _ := a.Alloc(30)
+	a.Free(s2, 30) // free [40,70), remaining free: [40,100)... then fragment:
+	a.Alloc(40)    // reuses [40,80)
+	// Free pool is now [80,100): 20 pages.
+	start, got := a.AllocUpTo(50)
+	if got != 20 || start != 80 {
+		t.Fatalf("AllocUpTo = (%d,%d), want (80,20)", start, got)
+	}
+	if _, got := a.AllocUpTo(5); got != 0 {
+		t.Fatal("empty pool must return got=0")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewExtentAlloc(100)
+	s, _ := a.Alloc(10)
+	a.Free(s, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	a.Free(s, 10)
+}
+
+func TestAllocFreeProperty(t *testing.T) {
+	// Property: any sequence of allocs followed by freeing everything
+	// restores a fully usable pool, and conservation holds throughout.
+	f := func(sizes []uint8) bool {
+		a := NewExtentAlloc(1000)
+		type alloc struct{ start, n int }
+		var live []alloc
+		total := 0
+		for _, sz := range sizes {
+			n := int(sz)%50 + 1
+			if s, ok := a.Alloc(n); ok {
+				live = append(live, alloc{s, n})
+				total += n
+			}
+			if a.InUse() != total {
+				return false
+			}
+		}
+		for _, al := range live {
+			a.Free(al.start, al.n)
+			total -= al.n
+			if a.InUse() != total {
+				return false
+			}
+		}
+		s, ok := a.Alloc(1000)
+		return ok && s == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutRelationPlacement(t *testing.T) {
+	g := DefaultGeometry()
+	// Two relations of 2560 pages each (20 MB at 8 KB pages).
+	l, err := NewLayout(g, 1, []int{2560, 2560})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := l.RelationBaseCyl()
+	// 5120 pages / 90 = 57 cylinders, centered.
+	if base < 600 || base > 800 {
+		t.Fatalf("relation base cylinder = %d, want middle of disk", base)
+	}
+	d0, a0 := l.RelationAddr(0, 0)
+	if d0 != 0 || a0.Cyl != base || a0.Slot != 0 {
+		t.Fatalf("rel0 page0 at disk %d %+v", d0, a0)
+	}
+	_, a1 := l.RelationAddr(1, 0)
+	wantLinear := base*g.CylPages + 2560
+	if got := a1.Cyl*g.CylPages + a1.Slot; got != wantLinear {
+		t.Fatalf("rel1 page0 linear = %d, want %d", got, wantLinear)
+	}
+}
+
+func TestLayoutStriping(t *testing.T) {
+	g := DefaultGeometry()
+	l, err := NewLayout(g, 4, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d, _ := l.RelationAddr(0, i)
+		if d != i%4 {
+			t.Fatalf("page %d on disk %d, want %d", i, d, i%4)
+		}
+	}
+}
+
+func TestLayoutTempAllocationBelowRelations(t *testing.T) {
+	g := DefaultGeometry()
+	l, err := NewLayout(g, 1, []int{2560})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.AllocTemp(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N != 64 {
+		t.Fatalf("got %d pages, want 64", e.N)
+	}
+	_, a := l.TempAddr(e, 0)
+	if a.Cyl >= l.RelationBaseCyl() {
+		t.Fatalf("temp extent at cyl %d, must be below relation base %d", a.Cyl, l.RelationBaseCyl())
+	}
+	if l.TempInUse()[0] != 64 {
+		t.Fatalf("temp in use = %v", l.TempInUse())
+	}
+	l.FreeTemp(e)
+	if l.TempInUse()[0] != 0 {
+		t.Fatalf("temp in use after free = %v", l.TempInUse())
+	}
+}
+
+func TestLayoutRejectsOversizedDB(t *testing.T) {
+	g := DefaultGeometry()
+	if _, err := NewLayout(g, 1, []int{g.Pages() * 2}); err == nil {
+		t.Fatal("want error for database larger than disk")
+	}
+}

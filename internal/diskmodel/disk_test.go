@@ -1,0 +1,214 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/memadapt/masort/internal/randx"
+	"github.com/memadapt/masort/internal/sim"
+)
+
+func testGeo() Geometry {
+	g := DefaultGeometry()
+	return g
+}
+
+func TestSeekTimeModel(t *testing.T) {
+	g := testGeo()
+	if g.SeekTime(0) != 0 {
+		t.Fatal("zero-cylinder seek must be free")
+	}
+	// 0.000617 * sqrt(400) s = 12.34 ms
+	got := g.SeekTime(400)
+	want := 12340 * time.Microsecond
+	if d := got - want; d < -10*time.Microsecond || d > 10*time.Microsecond {
+		t.Fatalf("SeekTime(400) = %v, want ~%v", got, want)
+	}
+	if g.SeekTime(100) >= g.SeekTime(400) {
+		t.Fatal("seek time must grow with distance")
+	}
+}
+
+func TestAddrOfPage(t *testing.T) {
+	g := testGeo()
+	a := g.AddrOfPage(0)
+	if a != (Addr{0, 0}) {
+		t.Fatalf("page 0 = %+v", a)
+	}
+	a = g.AddrOfPage(90)
+	if a != (Addr{1, 0}) {
+		t.Fatalf("page 90 = %+v", a)
+	}
+	a = g.AddrOfPage(91*90 + 17)
+	if a != (Addr{91, 17}) {
+		t.Fatalf("addr = %+v", a)
+	}
+}
+
+func TestSyncReadCompletes(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	var done sim.Time
+	s.Spawn("reader", func(p *sim.Proc) {
+		d.Read(p, Addr{Cyl: 700, Slot: 3})
+		done = p.Now()
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("read must take non-zero time")
+	}
+	if d.Stats.Reads != 1 {
+		t.Fatalf("reads = %d", d.Stats.Reads)
+	}
+}
+
+func TestSequentialReadsCheaperThanRandom(t *testing.T) {
+	run := func(addrs []Addr) sim.Time {
+		s := sim.New()
+		d := New(s, testGeo(), randx.New(1, "disk"))
+		var total sim.Time
+		s.Spawn("reader", func(p *sim.Proc) {
+			for _, a := range addrs {
+				d.Read(p, a)
+			}
+			total = p.Now()
+			s.Stop()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	var seq, rnd []Addr
+	for i := 0; i < 50; i++ {
+		seq = append(seq, Addr{Cyl: 700, Slot: i})
+		rnd = append(rnd, Addr{Cyl: 100 + (i%2)*900, Slot: (i * 37) % 90})
+	}
+	ts, tr := run(seq), run(rnd)
+	if ts*3 > tr {
+		t.Fatalf("sequential %v should be far cheaper than random %v", ts, tr)
+	}
+}
+
+func TestElevatorServicesInScanOrder(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	var order []int
+	cyls := []int{900, 100, 500, 1200, 300}
+	s.Spawn("submitter", func(p *sim.Proc) {
+		var flags []*sim.Flag
+		for _, c := range cyls {
+			flags = append(flags, d.Submit(Addr{Cyl: c}, Read))
+		}
+		for i, f := range flags {
+			i := i
+			f := f
+			s.Spawn("waiter", func(wp *sim.Proc) {
+				f.Wait(wp)
+				order = append(order, cyls[i])
+			})
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Head starts at 0 moving up: expect ascending cylinder order.
+	want := []int{100, 300, 500, 900, 1200}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestElevatorReversesDirection(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	var order []int
+	s.Spawn("driver", func(p *sim.Proc) {
+		// Move head to 800 first.
+		d.Read(p, Addr{Cyl: 800})
+		f1 := d.Submit(Addr{Cyl: 900}, Read)
+		f2 := d.Submit(Addr{Cyl: 100}, Read)
+		f3 := d.Submit(Addr{Cyl: 1100}, Read)
+		for i, f := range []*sim.Flag{f1, f2, f3} {
+			i := i
+			f := f
+			s.Spawn("w", func(wp *sim.Proc) {
+				f.Wait(wp)
+				order = append(order, []int{900, 100, 1100}[i])
+			})
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Going up from 800: 900, 1100; then down: 100.
+	want := []int{900, 1100, 100}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAsyncWriteOverlapsCaller(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	var submitTime, doneTime sim.Time
+	s.Spawn("writer", func(p *sim.Proc) {
+		f := d.Submit(Addr{Cyl: 50, Slot: 1}, Write)
+		submitTime = p.Now()
+		f.Wait(p)
+		doneTime = p.Now()
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if submitTime != 0 {
+		t.Fatalf("submit must not block, took %v", submitTime)
+	}
+	if doneTime <= 0 {
+		t.Fatal("write completion must advance time")
+	}
+	if d.Stats.Writes != 1 {
+		t.Fatalf("writes = %d", d.Stats.Writes)
+	}
+}
+
+func TestAccessTimeIncludesQueueWait(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	s.Spawn("w", func(p *sim.Proc) {
+		var flags []*sim.Flag
+		for i := 0; i < 20; i++ {
+			flags = append(flags, d.Submit(Addr{Cyl: (i * 61) % 1500, Slot: i % 90}, Write))
+		}
+		for _, f := range flags {
+			f.Wait(p)
+		}
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.TotalAccessTime <= d.Stats.BusyTime {
+		t.Fatalf("queued access time (%v) should exceed pure service time (%v)",
+			d.Stats.TotalAccessTime, d.Stats.BusyTime)
+	}
+}
+
+func TestSubmitOutOfRangePanics(t *testing.T) {
+	s := sim.New()
+	d := New(s, testGeo(), randx.New(1, "disk"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range address")
+		}
+	}()
+	d.Submit(Addr{Cyl: 99999}, Read)
+}

@@ -1,0 +1,115 @@
+package diskmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memadapt/masort/internal/randx"
+	"github.com/memadapt/masort/internal/sim"
+)
+
+// TestElevatorServicesEverything is a liveness property: any batch of
+// requests, in any order, is fully serviced (no starvation), and total
+// head movement is bounded by 2 sweeps' worth per batch.
+func TestElevatorServicesEverything(t *testing.T) {
+	f := func(cylsRaw []uint16) bool {
+		if len(cylsRaw) == 0 {
+			return true
+		}
+		if len(cylsRaw) > 60 {
+			cylsRaw = cylsRaw[:60]
+		}
+		s := sim.New()
+		d := New(s, DefaultGeometry(), randx.New(7, "disk"))
+		served := 0
+		s.Spawn("driver", func(p *sim.Proc) {
+			var flags []*sim.Flag
+			for _, c := range cylsRaw {
+				a := Addr{Cyl: int(c) % d.Geo.Cylinders, Slot: int(c) % d.Geo.CylPages}
+				flags = append(flags, d.Submit(a, Kind(c%2)))
+			}
+			for _, f := range flags {
+				f.Wait(p)
+				served++
+			}
+			s.Stop()
+		})
+		if err := s.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return served == len(cylsRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElevatorHeadMovementBounded: servicing a queued batch must not move
+// the head more than two full sweeps.
+func TestElevatorHeadMovementBounded(t *testing.T) {
+	s := sim.New()
+	g := DefaultGeometry()
+	d := New(s, g, randx.New(9, "disk"))
+	s.Spawn("driver", func(p *sim.Proc) {
+		var flags []*sim.Flag
+		for i := 0; i < 100; i++ {
+			flags = append(flags, d.Submit(Addr{Cyl: (i * 613) % g.Cylinders}, Read))
+		}
+		for _, f := range flags {
+			f.Wait(p)
+		}
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Total seek time must be far below 100 random seeks' worth: a SCAN over
+	// 1500 cylinders visiting 100 stops costs at most ~2 sweeps.
+	randomSeeks := 100 * g.SeekTime(g.Cylinders/3)
+	if d.Stats.SeekTime > randomSeeks/2 {
+		t.Fatalf("elevator seek total %v too close to random baseline %v",
+			d.Stats.SeekTime, randomSeeks)
+	}
+}
+
+func TestDiskStatsCount(t *testing.T) {
+	s := sim.New()
+	d := New(s, DefaultGeometry(), randx.New(3, "disk"))
+	s.Spawn("p", func(p *sim.Proc) {
+		d.Read(p, Addr{Cyl: 10})
+		d.Write(p, Addr{Cyl: 20})
+		d.Write(p, Addr{Cyl: 30})
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Reads != 1 || d.Stats.Writes != 2 {
+		t.Fatalf("reads=%d writes=%d", d.Stats.Reads, d.Stats.Writes)
+	}
+	if d.Stats.AvgAccessTime() <= 0 {
+		t.Fatal("avg access time must be positive")
+	}
+	var zero Stats
+	if zero.AvgAccessTime() != 0 {
+		t.Fatal("empty stats avg must be 0")
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	g := DefaultGeometry()
+	want := g.RotateTime / 5
+	if g.TransferTime() != want {
+		t.Fatalf("transfer = %v, want %v", g.TransferTime(), want)
+	}
+	if g.Pages() != 1500*90 {
+		t.Fatalf("pages = %d", g.Pages())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("kind strings")
+	}
+}

@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/memadapt/masort/internal/memload"
+	"github.com/memadapt/masort/internal/simenv"
+)
+
+// Experiment is one reproducible unit: a runner that regenerates one or
+// more of the paper's tables/figures.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]Table, error)
+}
+
+// All lists every experiment, in the paper's order.
+var All = []Experiment{
+	{"table5", "Average per-page disk access time vs. block-write size N (Table 5)", Table5},
+	{"nofluct", "No memory fluctuation: response times and split-phase detail (Figure 5 + Table 6)", NoFluctuation},
+	{"baseline", "Baseline fluctuation, all 18 algorithms (Figure 6 + Tables 7-9)", Baseline},
+	{"ratio", "Memory to relation-size ratio sweeps (Figures 7-9)", Ratio},
+	{"magnitude", "Magnitude of memory fluctuations (Figures 10-11)", Magnitude},
+	{"rate", "Rate of memory fluctuations (Figures 12-13)", Rate},
+	{"join", "Memory-adaptive sort-merge joins (Section 6)", Join},
+	{"ablation", "Design ablations: shortest-first, combining, adaptive block I/O", Ablation},
+	{"concurrent", "Extension: concurrent sorts over a shared buffer pool (paper §1 motivation)", Concurrent},
+	{"disks", "Extension: response vs number of disks", Disks},
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// paperM are the M values of Figure 5 / Table 6 (MB).
+var paperM = []float64{0.07, 0.14, 0.21, 0.32, 0.42, 0.63, 0.84, 1.40}
+
+// sweepM are the M values for the Figure 7-13 sweeps (MB).
+var sweepM = []float64{0.1, 0.2, 0.3, 0.45, 0.6, 0.9, 1.4, 2.0}
+
+// Table5 reproduces Table 5: the split phase of replacement selection with
+// N-page block writes, measured as mean per-page disk access time
+// (including queue waits), without memory fluctuation.
+func Table5(o Options) ([]Table, error) {
+	ns := []int{1, 2, 4, 6, 8, 10, 12}
+	var pts []point
+	for _, n := range ns {
+		pts = append(pts, point{algo: fmt.Sprintf("repl%d,opt,split", n), mb: 0.3})
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "table5",
+		Title:   "Avg per-page disk access time (ms) vs block size N",
+		Columns: []string{"N", "AccessTime(ms)", "SplitDur(s)", "Runs"},
+		Notes: []string{
+			"paper Table 5: N=1:62  2:36  4:26  6:23  8:22  10:21  12:21 (ms)",
+			"shape target: steep drop from N=1, flat beyond N≈6; runs grow slightly with N",
+		},
+	}
+	for i, n := range ns {
+		r := res[pts[i].key()]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			f1(float64(r.DiskStats.AvgAccessTime().Microseconds()) / 1000),
+			f1(r.MeanSplitDur.Seconds()),
+			f1(r.MeanRuns),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// NoFluctuation reproduces Figure 5 (response times of the six
+// method × merging-strategy combinations vs M) and Table 6 (runs, merge
+// steps and split-phase duration per method vs M), with λ_small=λ_large=0.
+func NoFluctuation(o Options) ([]Table, error) {
+	algos := []string{
+		"quick,naive,split", "quick,opt,split",
+		"repl1,naive,split", "repl1,opt,split",
+		"repl6,naive,split", "repl6,opt,split",
+	}
+	var pts []point
+	for _, a := range algos {
+		for _, mb := range paperM {
+			pts = append(pts, point{algo: a, mb: mb})
+		}
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	get := func(a string, mb float64) *simenv.Result {
+		return res[point{algo: a, mb: mb}.key()]
+	}
+
+	fig5 := Table{
+		ID:      "figure5",
+		Title:   "Response time (s) vs M (MB), no memory fluctuation",
+		Columns: append([]string{"M(MB)"}, algos...),
+		Notes: []string{
+			"paper Figure 5 shape: all curves drop sharply until M≈0.6MB, then level off;",
+			"repl1 worst throughout; repl6 beats quick below ≈0.6MB, quick marginally faster above;",
+			"naive==opt for M>0.4MB, naive worse at small M",
+		},
+	}
+	for _, mb := range paperM {
+		row := []string{fmt.Sprintf("%.2f", mb)}
+		for _, a := range algos {
+			row = append(row, secs(get(a, mb)))
+		}
+		fig5.Rows = append(fig5.Rows, row)
+	}
+
+	t6 := Table{
+		ID:    "table6",
+		Title: "Split-phase detail vs M, no fluctuation",
+		Columns: append([]string{"metric"}, func() []string {
+			var c []string
+			for _, mb := range paperM {
+				c = append(c, fmt.Sprintf("%.2f", mb))
+			}
+			return c
+		}()...),
+		Notes: []string{
+			"paper Table 6 runs   — quick: 280 149 101 65 52 34 25 15 | repl1: 141 75 52 33 27 18 13 8 | repl6: 202 89 57 35 28 19 14 9",
+			"paper Table 6 steps  — quick: 32 9 4 2 1 1 1 1 | repl1: 15.7 4.2 1.9 1 1 1 1 1 | repl6: 22.4 4.9 2.1 1 1 1 1 1",
+			"paper Table 6 split s— quick: 34..27 | repl1: 89..82 | repl6: 34..30",
+		},
+	}
+	for _, m := range []struct{ name, algo string }{
+		{"quick", "quick,opt,split"}, {"repl1", "repl1,opt,split"}, {"repl6", "repl6,opt,split"},
+	} {
+		runsRow := []string{"#runs " + m.name}
+		stepsRow := []string{"#steps " + m.name}
+		durRow := []string{"splitDur(s) " + m.name}
+		for _, mb := range paperM {
+			r := get(m.algo, mb)
+			runsRow = append(runsRow, f1(r.MeanRuns))
+			stepsRow = append(stepsRow, f1(r.MeanSteps))
+			durRow = append(durRow, f1(r.MeanSplitDur.Seconds()))
+		}
+		t6.Rows = append(t6.Rows, runsRow, stepsRow, durRow)
+	}
+	return []Table{fig5, t6}, nil
+}
+
+// allAlgos are the paper's 18 algorithm combinations (Table 1).
+func allAlgos() []string {
+	var out []string
+	for _, m := range []string{"quick", "repl1", "repl6"} {
+		for _, ms := range []string{"naive", "opt"} {
+			for _, ad := range []string{"susp", "page", "split"} {
+				out = append(out, m+","+ms+","+ad)
+			}
+		}
+	}
+	return out
+}
+
+// Baseline reproduces the baseline experiment (Section 5.2): all 18
+// algorithms at M = 0.3 MB under baseline fluctuation, rendered as
+// Figure 6 (response times) and Tables 7, 8 and 9 (regroupings).
+func Baseline(o Options) ([]Table, error) {
+	algos := allAlgos()
+	var pts []point
+	for _, a := range algos {
+		pts = append(pts, point{algo: a, mb: 0.3, fluct: memload.Baseline()})
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	get := func(a string) *simenv.Result {
+		return res[point{algo: a, mb: 0.3}.key()]
+	}
+
+	fig6 := Table{
+		ID:      "figure6",
+		Title:   "Response times (s), baseline experiment (M=0.3MB, baseline fluctuation)",
+		Columns: []string{"algorithm", "resp(s)", "splitDur(s)", "runs", "steps", "extraIO"},
+		Notes: []string{
+			"paper Figure 6: susp worst (287-320s), split best (141-200s), page between;",
+			"paper best: repl6,opt,split=141  next repl6,naive,split=160, quick,opt,split=156",
+		},
+	}
+	for _, a := range algos {
+		r := get(a)
+		fig6.Rows = append(fig6.Rows, []string{
+			a, secsCI(r), f1(r.MeanSplitDur.Seconds()), f1(r.MeanRuns), f1(r.MeanSteps), f1(r.MeanExtraIO),
+		})
+	}
+
+	t7 := Table{
+		ID:      "table7",
+		Title:   "Merge-phase adaptation strategies: response time (s)",
+		Columns: []string{"method,merge", "susp", "page", "split"},
+		Notes:   []string{"paper Table 7: split < page < susp on every row"},
+	}
+	for _, m := range []string{"quick", "repl1", "repl6"} {
+		for _, ms := range []string{"naive", "opt"} {
+			t7.Rows = append(t7.Rows, []string{
+				m + "," + ms,
+				secs(get(m + "," + ms + ",susp")),
+				secs(get(m + "," + ms + ",page")),
+				secs(get(m + "," + ms + ",split")),
+			})
+		}
+	}
+
+	t8 := Table{
+		ID:      "table8",
+		Title:   "In-memory sorting methods: split-phase behaviour",
+		Columns: []string{"method", "splitDur(s)", "runs", "delayMean(ms)", "delayMax(ms)"},
+		Notes: []string{
+			"paper Table 8: split delays quick≈0.180s mean, repl1≈0.149s, repl6≈0.032s;",
+			"repl6 shortest delays (spare flushed buffers), quick longest (must write whole memory)",
+		},
+	}
+	for _, m := range []string{"quick", "repl1", "repl6"} {
+		r := get(m + ",opt,split")
+		t8.Rows = append(t8.Rows, []string{
+			m,
+			f1(r.MeanSplitDur.Seconds()),
+			f1(r.MeanRuns),
+			f1(float64(r.SplitDelayMean.Microseconds()) / 1000),
+			f1(float64(r.SplitDelayMax.Microseconds()) / 1000),
+		})
+	}
+
+	t9 := Table{
+		ID:      "table9",
+		Title:   "Merging strategies: response time (s), naive vs opt",
+		Columns: []string{"method,adapt", "naive", "opt"},
+		Notes: []string{
+			"paper Table 9: opt better than naive with page and split;",
+			"naive better than opt with susp (opt exposes the longer final step to shortages)",
+		},
+	}
+	for _, m := range []string{"quick", "repl1", "repl6"} {
+		for _, ad := range []string{"susp", "page", "split"} {
+			t9.Rows = append(t9.Rows, []string{
+				m + "," + ad,
+				secs(get(m + ",naive," + ad)),
+				secs(get(m + ",opt," + ad)),
+			})
+		}
+	}
+	return []Table{fig6, t7, t8, t9}, nil
+}
+
+// Ratio reproduces the M-to-‖R‖ sweeps: Figure 7 (repl6 under page vs
+// split), Figure 8 (split with quick vs repl6) and Figure 9 (split-phase
+// delays of quick vs repl6).
+func Ratio(o Options) ([]Table, error) {
+	return ratioLike(o, memload.Baseline(), "figure7", "figure8", "figure9", []string{
+		"paper Figure 7: split ≥ page everywhere, ~30% faster at M=0.1MB, converging by 0.6MB",
+		"paper Figure 8: repl6 ≈5% faster than quick at M=0.1MB, converging by 0.9MB",
+		"paper Figure 9: delays grow with M; quick's mean delay ≈4x repl6's at M=2MB",
+	})
+}
+
+// Magnitude reproduces Figures 10-11: the small/large request streams are
+// interchanged so most contention comes from large requests.
+func Magnitude(o Options) ([]Table, error) {
+	ts, err := ratioLike(o, memload.Magnitude(), "figure10", "figure11", "figure11-delays", []string{
+		"paper Figure 10: both slower than Figure 7; page's gap to split widens (page cannot use excess memory)",
+		"paper Figure 11: quick vs repl6 difference narrows (large shortages shorten repl6's runs)",
+	})
+	return ts, err
+}
+
+func ratioLike(o Options, fl memload.Config, idA, idB, idC string, notes []string) ([]Table, error) {
+	algos := []string{
+		"repl6,naive,page", "repl6,opt,page", "repl6,naive,split", "repl6,opt,split",
+		"quick,naive,split", "quick,opt,split",
+	}
+	var pts []point
+	for _, a := range algos {
+		for _, mb := range sweepM {
+			pts = append(pts, point{algo: a, mb: mb, fluct: fl})
+		}
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	get := func(a string, mb float64) *simenv.Result {
+		return res[point{algo: a, mb: mb}.key()]
+	}
+	fa := Table{
+		ID:      idA,
+		Title:   "repl6: response time (s) vs M (MB) — page vs split",
+		Columns: []string{"M(MB)", "naive,page", "opt,page", "naive,split", "opt,split"},
+		Notes:   notes[:1],
+	}
+	for _, mb := range sweepM {
+		fa.Rows = append(fa.Rows, []string{
+			fmt.Sprintf("%.2f", mb),
+			secs(get("repl6,naive,page", mb)), secs(get("repl6,opt,page", mb)),
+			secs(get("repl6,naive,split", mb)), secs(get("repl6,opt,split", mb)),
+		})
+	}
+	fb := Table{
+		ID:      idB,
+		Title:   "split: response time (s) vs M (MB) — quick vs repl6",
+		Columns: []string{"M(MB)", "quick,naive", "quick,opt", "repl6,naive", "repl6,opt"},
+		Notes:   notes[1:2],
+	}
+	for _, mb := range sweepM {
+		fb.Rows = append(fb.Rows, []string{
+			fmt.Sprintf("%.2f", mb),
+			secs(get("quick,naive,split", mb)), secs(get("quick,opt,split", mb)),
+			secs(get("repl6,naive,split", mb)), secs(get("repl6,opt,split", mb)),
+		})
+	}
+	fc := Table{
+		ID:      idC,
+		Title:   "split-phase delays (ms) vs M (MB) — quick vs repl6",
+		Columns: []string{"M(MB)", "quick mean", "quick max", "repl6 mean", "repl6 max"},
+	}
+	if len(notes) > 2 {
+		fc.Notes = notes[2:]
+	}
+	for _, mb := range sweepM {
+		q := get("quick,opt,split", mb)
+		r := get("repl6,opt,split", mb)
+		fc.Rows = append(fc.Rows, []string{
+			fmt.Sprintf("%.2f", mb),
+			f1(float64(q.SplitDelayMean.Microseconds()) / 1000),
+			f1(float64(q.SplitDelayMax.Microseconds()) / 1000),
+			f1(float64(r.SplitDelayMean.Microseconds()) / 1000),
+			f1(float64(r.SplitDelayMax.Microseconds()) / 1000),
+		})
+	}
+	return []Table{fa, fb, fc}, nil
+}
+
+// Rate reproduces Figures 12-13: fluctuation rates scaled down 5x (slow)
+// and up 5x (fast) with holding times adjusted to keep the mean amount of
+// stolen memory constant.
+func Rate(o Options) ([]Table, error) {
+	slow := memload.Baseline().Scaled(0.2)
+	fast := memload.Baseline().Scaled(5)
+	algos := []string{"quick,opt,page", "quick,opt,split", "repl6,opt,page", "repl6,opt,split"}
+	var pts []point
+	for _, a := range algos {
+		for _, mb := range sweepM {
+			pts = append(pts,
+				point{algo: a + ";fast", mb: mb, fluct: fast},
+				point{algo: a + ";slow", mb: mb, fluct: slow},
+			)
+		}
+	}
+	// point.algo carries a ;suffix tag: strip before parsing.
+	res := make(map[string]*simenv.Result)
+	resolved, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range resolved {
+		res[k] = v
+	}
+	get := func(a, speed string, mb float64) *simenv.Result {
+		return res[point{algo: a + ";" + speed, mb: mb}.key()]
+	}
+	mk := func(id, method string) Table {
+		t := Table{
+			ID:      id,
+			Title:   method + ": response & split duration (s) vs M — fast vs slow fluctuation",
+			Columns: []string{"M(MB)", "page;fast", "page;slow", "split;fast", "split;slow", "splitDur;fast", "splitDur;slow"},
+			Notes: []string{
+				"paper Figures 12-13: fast fluctuation costs more at small M; curves converge for large M;",
+				"split-phase durations (dotted lines) are insensitive to the rate",
+			},
+		}
+		for _, mb := range sweepM {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", mb),
+				secs(get(method+",opt,page", "fast", mb)),
+				secs(get(method+",opt,page", "slow", mb)),
+				secs(get(method+",opt,split", "fast", mb)),
+				secs(get(method+",opt,split", "slow", mb)),
+				f1(get(method+",opt,split", "fast", mb).MeanSplitDur.Seconds()),
+				f1(get(method+",opt,split", "slow", mb).MeanSplitDur.Seconds()),
+			})
+		}
+		return t
+	}
+	return []Table{mk("figure12", "quick"), mk("figure13", "repl6")}, nil
+}
+
+// Join runs the Section 6 experiment: memory-adaptive sort-merge joins
+// (R=20MB ⋈ S=10MB) under baseline fluctuation. The paper defers numbers to
+// [Pang93b] but states the same relative trade-offs hold.
+func Join(o Options) ([]Table, error) {
+	algos := []string{
+		"quick,opt,susp", "quick,opt,page", "quick,opt,split",
+		"repl6,opt,susp", "repl6,opt,page", "repl6,opt,split",
+	}
+	var pts []point
+	for _, a := range algos {
+		pts = append(pts, point{algo: a, mb: 0.3, fluct: memload.Baseline(), join: true})
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "join",
+		Title:   "Sort-merge join (20MB ⋈ 10MB), baseline fluctuation, M=0.3MB",
+		Columns: []string{"algorithm", "resp(s)", "steps", "leftRuns", "rightRuns"},
+		Notes: []string{
+			"paper §6: the sort trade-offs carry over; repl6,opt,split is the recommended combination",
+		},
+	}
+	for _, a := range algos {
+		r := res[point{algo: a, mb: 0.3}.key()]
+		var lr, rr float64
+		for _, jj := range r.Joins {
+			lr += float64(jj.LeftRuns)
+			rr += float64(jj.RightRuns)
+		}
+		lr /= float64(len(r.Joins))
+		rr /= float64(len(r.Joins))
+		t.Rows = append(t.Rows, []string{a, secsCI(r), f1(r.MeanSteps), f1(lr), f1(rr)})
+	}
+	return []Table{t}, nil
+}
+
+// Ablation quantifies the design decisions the paper argues for:
+// shortest-runs-first selection, dynamic-splitting's combine step, and the
+// future-work adaptive block I/O extension.
+func Ablation(o Options) ([]Table, error) {
+	variants := []struct {
+		label string
+		mod   string
+	}{
+		{"repl6,opt,split (paper)", ""},
+		{"no shortest-first", "noshortest"},
+		{"no combining", "nocombine"},
+		{"adaptive block I/O", "blockio"},
+	}
+	var pts []point
+	for _, v := range variants {
+		pts = append(pts, point{algo: "repl6,opt,split;" + v.mod, mb: 0.3, fluct: memload.Baseline()})
+	}
+	res, err := runPoints(o, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "ablation",
+		Title:   "Ablations at the baseline point (M=0.3MB, baseline fluctuation)",
+		Columns: []string{"variant", "resp(s)", "steps", "extraIO", "combines"},
+		Notes: []string{
+			"expected: disabling shortest-first or combining does not speed anything up;",
+			"adaptive block I/O (paper §7 future work) helps when memory is plentiful",
+		},
+	}
+	for i, v := range variants {
+		r := res[pts[i].key()]
+		t.Rows = append(t.Rows, []string{
+			v.label, secs(r), f1(r.MeanSteps), f1(r.MeanExtraIO), fmt.Sprintf("%d", r.TotalCombines),
+		})
+	}
+	return []Table{t}, nil
+}

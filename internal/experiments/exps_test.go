@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts runs experiments at reduced scale so the suite stays fast.
+func quickOpts() Options {
+	return Options{Seed: 1, Sorts: 2, Scale: 0.25}
+}
+
+func cell(t *Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table5", "nofluct", "baseline", "ratio", "magnitude", "rate", "join", "ablation", "concurrent", "disks"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
+	}
+	for i, id := range want {
+		if All[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, All[i].ID, id)
+		}
+		if _, ok := Find(id); !ok {
+			t.Fatalf("Find(%s) failed", id)
+		}
+	}
+	if _, ok := Find("nonsense"); ok {
+		t.Fatal("Find must reject unknown ids")
+	}
+}
+
+func TestTable5ShapeAtSmallScale(t *testing.T) {
+	ts, err := Table5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := ts[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Access time at N=1 must exceed N=6 (the paper's central Table 5 shape).
+	if cell(&tab, 0, 1) <= cell(&tab, 3, 1) {
+		t.Fatalf("N=1 access (%v) must exceed N=6 (%v)", tab.Rows[0][1], tab.Rows[3][1])
+	}
+	// Split duration strictly decreases from N=1 to N=6.
+	if cell(&tab, 0, 2) <= cell(&tab, 3, 2) {
+		t.Fatal("split duration must fall with block size")
+	}
+}
+
+func TestBaselineOrderings(t *testing.T) {
+	ts, err := Baseline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t7 *Table
+	for i := range ts {
+		if ts[i].ID == "table7" {
+			t7 = &ts[i]
+		}
+	}
+	if t7 == nil {
+		t.Fatal("missing table7")
+	}
+	// The paper's headline ordering: split <= page <= susp (allow small
+	// noise at reduced scale: split must beat susp on every row).
+	for _, row := range t7.Rows {
+		susp, _ := strconv.ParseFloat(row[1], 64)
+		split, _ := strconv.ParseFloat(row[3], 64)
+		if split >= susp {
+			t.Errorf("row %s: split (%v) should beat susp (%v)", row[0], split, susp)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4,x"}},
+		Notes:   []string{"note1"},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "note1") {
+		t.Fatalf("render: %s", s)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "\"4,x\"") {
+		t.Fatalf("csv escaping: %s", csv)
+	}
+}
+
+func TestRunPointModifiers(t *testing.T) {
+	o := quickOpts()
+	o.Sorts = 1
+	for _, algo := range []string{
+		"repl6,opt,split;nocombine",
+		"repl6,opt,split;noshortest",
+		"repl6,opt,split;blockio",
+		"quick,opt,page;fast",
+	} {
+		if _, err := runPoint(o, point{algo: algo, mb: 0.3}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if _, err := runPoint(o, point{algo: "quick,opt,page;bogus", mb: 0.3}); err == nil {
+		t.Fatal("unknown modifier must fail")
+	}
+}
+
+func TestJoinExperimentSmall(t *testing.T) {
+	o := quickOpts()
+	o.Sorts = 1
+	ts, err := Join(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != 6 {
+		t.Fatalf("rows = %d", len(ts[0].Rows))
+	}
+}
+
+func TestConcurrentExperimentSmall(t *testing.T) {
+	o := quickOpts()
+	o.Sorts = 1
+	ts, err := Concurrent(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != 3 || len(ts[0].Columns) != 7 {
+		t.Fatalf("table shape: %d rows, %d cols", len(ts[0].Rows), len(ts[0].Columns))
+	}
+	// Throughput cells must be positive.
+	for _, row := range ts[0].Rows {
+		for _, col := range []int{2, 4, 6} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad throughput cell %q", row[col])
+			}
+		}
+	}
+}
+
+func TestDisksExperimentSmall(t *testing.T) {
+	o := quickOpts()
+	o.Sorts = 1
+	ts, err := Disks(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != 4 {
+		t.Fatalf("rows = %d", len(ts[0].Rows))
+	}
+	// More disks must not make the sort slower.
+	d1 := cell(&ts[0], 0, 1)
+	d8 := cell(&ts[0], 3, 1)
+	if d8 > d1*1.1 {
+		t.Fatalf("8 disks (%v s) should not be slower than 1 (%v s)", d8, d1)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Summary is a sample mean with a 95% confidence half-width (normal
+// approximation — adequate for the ≥8 sorts per data point the harness
+// uses; the paper reports plain means).
+type Summary struct {
+	N    int
+	Mean float64
+	Half float64 // 95% CI half-width
+}
+
+// Summarize computes a Summary over samples.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Summary{N: n, Mean: mean, Half: 1.96 * sd / math.Sqrt(float64(n))}
+}
+
+// SummarizeDurations converts durations to seconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// String renders "mean ±half".
+func (s Summary) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.1f", s.Mean)
+	}
+	return fmt.Sprintf("%.1f ±%.1f", s.Mean, s.Half)
+}

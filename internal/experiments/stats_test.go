@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{10, 10, 10, 10})
+	if s.Mean != 10 || s.Half != 0 || s.N != 4 {
+		t.Fatalf("constant samples: %+v", s)
+	}
+	s = Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s = Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Half != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestSummarizeCIWidth(t *testing.T) {
+	// Known case: samples {8, 12}: mean 10, sd = 2·√2/√1... sd = √8 = 2.828,
+	// half = 1.96·2.828/√2 = 3.92.
+	s := Summarize([]float64{8, 12})
+	if math.Abs(s.Mean-10) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Half-3.92) > 0.01 {
+		t.Fatalf("half = %v, want ~3.92", s.Half)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if math.Abs(s.Mean-2) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := (Summary{N: 1, Mean: 5}).String(); got != "5.0" {
+		t.Fatalf("single render %q", got)
+	}
+	got := (Summary{N: 4, Mean: 5, Half: 0.25}).String()
+	if !strings.Contains(got, "±") {
+		t.Fatalf("multi render %q", got)
+	}
+}

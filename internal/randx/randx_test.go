@@ -1,0 +1,103 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicBySeedAndName(t *testing.T) {
+	a := New(42, "disk")
+	b := New(42, "disk")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,name) must produce same sequence")
+		}
+	}
+}
+
+func TestIndependentStreams(t *testing.T) {
+	a := New(42, "disk")
+	b := New(42, "memory")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names look identical (%d collisions)", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(1, "exp")
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(0.8)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.8) > 0.02 {
+		t.Fatalf("exp mean = %f, want ~0.8", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	s := New(1, "exp")
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(7, "u")
+	f := func(lo, hi int16) bool {
+		a, b := float64(lo), float64(hi)
+		if a > b {
+			a, b = b, a
+		}
+		if a == b {
+			return true
+		}
+		v := s.Uniform(a, b)
+		return v >= a && v < b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(9, "um")
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0, 10)
+	}
+	if m := sum / n; math.Abs(m-5) > 0.1 {
+		t.Fatalf("uniform(0,10) mean = %f, want ~5", m)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(3, "i")
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5, "perm")
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

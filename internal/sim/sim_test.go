@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var at Time
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("late", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "late")
+	})
+	s.Spawn("early", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, "early")
+	})
+	s.After(5*time.Millisecond, func() { order = append(order, "callback") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"early", "callback", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+			if p.Now() != 7*time.Millisecond {
+				t.Errorf("woken at %v, want 7ms", p.Now())
+			}
+		})
+	}
+	s.Spawn("broadcaster", func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		sig.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestFlagWaitBeforeAndAfterSet(t *testing.T) {
+	s := New()
+	f := NewFlag(s)
+	var early, late Time
+	s.Spawn("early", func(p *Proc) {
+		f.Wait(p)
+		early = p.Now()
+	})
+	s.Spawn("setter", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		f.Set()
+	})
+	s.Spawn("late", func(p *Proc) {
+		p.Sleep(9 * time.Millisecond)
+		f.Wait(p) // already set: returns immediately
+		late = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early != 3*time.Millisecond {
+		t.Fatalf("early waiter woke at %v, want 3ms", early)
+	}
+	if late != 9*time.Millisecond {
+		t.Fatalf("late waiter woke at %v, want 9ms", late)
+	}
+}
+
+func TestFlagSetIdempotent(t *testing.T) {
+	s := New()
+	f := NewFlag(s)
+	s.Spawn("setter", func(p *Proc) {
+		f.Set()
+		f.Set()
+		if !f.IsSet() {
+			t.Error("flag should be set")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	s := New()
+	r := NewResource(s)
+	var order []int
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("user", func(p *Proc) {
+			p.Sleep(Time(i) * time.Microsecond) // stagger arrivals
+			r.Use(p, 10*time.Millisecond)
+			order = append(order, i)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+	// Services must be serialized: completions 10ms apart.
+	for i := 1; i < 3; i++ {
+		if d := ends[i] - ends[i-1]; d != 10*time.Millisecond {
+			t.Fatalf("completion gap = %v, want 10ms", d)
+		}
+	}
+	if r.BusyTime != 30*time.Millisecond {
+		t.Fatalf("busy time = %v, want 30ms", r.BusyTime)
+	}
+}
+
+func TestStopKillsParkedProcesses(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 50; iter++ {
+		s := New()
+		sig := NewSignal(s)
+		for i := 0; i < 4; i++ {
+			s.Spawn("daemon", func(p *Proc) {
+				for {
+					sig.Wait(p) // parked forever
+				}
+			})
+		}
+		s.Spawn("stopper", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			p.Sim().Stop()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give exited goroutines a moment to be reaped.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before+5; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	after := runtime.NumGoroutine()
+	if after > before+5 {
+		t.Fatalf("goroutine leak: before=%d after=%d", before, after)
+	}
+}
+
+func TestProcessPanicSurfacesAsError(t *testing.T) {
+	s := New()
+	s.Spawn("boom", func(p *Proc) {
+		panic("kaboom")
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("want error from panicking process")
+	}
+}
+
+func TestRunEndsWhenNoEvents(t *testing.T) {
+	s := New()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A sim whose only process parks forever should also terminate.
+	s2 := New()
+	sig := NewSignal(s2)
+	s2.Spawn("p", func(p *Proc) { sig.Wait(p) })
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnparkNonParkedIsNoop(t *testing.T) {
+	s := New()
+	var p1 *Proc
+	p1 = s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+	})
+	s.After(time.Millisecond, func() { s.Unpark(p1) }) // sleeping, not parked
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("sim ended at %v, want 10ms (sleep must not be interrupted)", s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() []Time {
+		s := New()
+		r := NewResource(s)
+		var ts []Time
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Spawn("u", func(p *Proc) {
+				p.Sleep(Time(i*3) * time.Millisecond)
+				r.Use(p, 7*time.Millisecond)
+				ts = append(ts, p.Now())
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNegativeSleepAndAfter(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(-5) // clamped to 0
+		if p.Now() != 0 {
+			t.Errorf("now = %v, want 0", p.Now())
+		}
+	})
+	ran := false
+	s.After(-3, func() { ran = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("negative After callback did not run")
+	}
+}

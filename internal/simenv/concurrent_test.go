@@ -1,0 +1,149 @@
+package simenv
+
+import (
+	"testing"
+
+	"github.com/memadapt/masort/internal/core"
+	"github.com/memadapt/masort/internal/memload"
+)
+
+func TestConcurrentBasic(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 24, 6)
+	res, err := RunConcurrent(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sorts) != 6 {
+		t.Fatalf("sorts = %d, want 6", len(res.Sorts))
+	}
+	if res.Throughput <= 0 || res.MeanResponse <= 0 {
+		t.Fatalf("metrics empty: %+v", res)
+	}
+}
+
+func TestConcurrentAllStrategies(t *testing.T) {
+	for _, algo := range []string{"repl6,opt,split", "repl6,opt,page", "repl6,opt,susp", "quick,opt,split"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			cfg := smallCfg(algo, 20, 4)
+			res, err := RunConcurrent(cfg, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Sorts) != 4 {
+				t.Fatalf("sorts = %d", len(res.Sorts))
+			}
+		})
+	}
+}
+
+func TestConcurrentSingleWorkerMatchesShape(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 16, 3)
+	cfg.Fluct = memload.Config{}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunConcurrent(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker over a shared pool is the same workload; responses should
+	// be in the same ballpark (the share policy differs from the paper pool
+	// only in bookkeeping).
+	r := float64(conc.MeanResponse) / float64(seq.MeanResponse)
+	if r < 0.7 || r > 1.4 {
+		t.Fatalf("1-worker concurrent response %v vs sequential %v (ratio %.2f)",
+			conc.MeanResponse, seq.MeanResponse, r)
+	}
+}
+
+func TestConcurrentMoreWorkersRaiseThroughput(t *testing.T) {
+	// On a single disk the workload is disk-bound and multiprogramming buys
+	// nothing (it only adds seek interference) — with a 4-disk array,
+	// concurrent sorts overlap I/O and throughput must rise.
+	mk := func(workers int) float64 {
+		cfg := smallCfg("repl6,opt,split", 48, 6)
+		cfg.Fluct = memload.Config{}
+		cfg.NDisks = 4
+		res, err := RunConcurrent(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	t1, t3 := mk(1), mk(3)
+	if t3 <= t1 {
+		t.Fatalf("3 workers (%.1f/h) should out-throughput 1 (%.1f/h) on 4 disks", t3, t1)
+	}
+}
+
+func TestConcurrentDynamicSplittingBeatsSuspension(t *testing.T) {
+	// The paper's §1 argument: suspension under contention idles operators;
+	// adaptive sorts keep the system busy. With competing requests hitting
+	// the shared pool, dynamic splitting must deliver lower mean response.
+	mk := func(algo string) *ConcurrentResult {
+		cfg := smallCfg(algo, 24, 8)
+		cfg.Fluct = memload.Baseline()
+		res, err := RunConcurrent(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	split := mk("repl6,opt,split")
+	susp := mk("repl6,opt,susp")
+	if split.MeanResponse >= susp.MeanResponse {
+		t.Fatalf("split (%v) should beat susp (%v) under contention",
+			split.MeanResponse, susp.MeanResponse)
+	}
+}
+
+func TestConcurrentTooManyWorkersRejected(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 8, 2)
+	if _, err := RunConcurrent(cfg, 5); err == nil {
+		t.Fatal("5 workers on 8 pages with floor 3 must fail")
+	}
+}
+
+func TestConcurrentDeterministic(t *testing.T) {
+	cfg := smallCfg("quick,opt,split", 24, 4)
+	a, err := RunConcurrent(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.SimDuration != b.SimDuration {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v",
+			a.MeanResponse, a.SimDuration, b.MeanResponse, b.SimDuration)
+	}
+}
+
+func TestConcurrentWithJoinConfigIgnoresJoin(t *testing.T) {
+	// RunConcurrent is sort-only; ensure a sane error-free run even if the
+	// caller passes sort config variants.
+	cfg := smallCfg("repl1,naive,page", 20, 2)
+	cfg.Algo.BlockPages = 1
+	if _, err := RunConcurrent(cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPoolFloorGuard(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 9, 2)
+	cfg.Algo = mustParse("repl6,opt,split")
+	if _, err := RunConcurrent(cfg, 3); err != nil {
+		t.Fatal(err) // exactly 3*3 = 9 pages: admissible
+	}
+}
+
+func mustParse(s string) core.SortConfig {
+	c, err := core.ParseNotation(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,324 @@
+package simenv
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/memadapt/masort/internal/bufmgr"
+	"github.com/memadapt/masort/internal/core"
+	"github.com/memadapt/masort/internal/cpumodel"
+	"github.com/memadapt/masort/internal/diskmodel"
+	"github.com/memadapt/masort/internal/memload"
+	"github.com/memadapt/masort/internal/randx"
+	"github.com/memadapt/masort/internal/sim"
+)
+
+// Config describes one simulated experiment: the paper's Tables 2–4
+// parameters plus the algorithm under test.
+type Config struct {
+	Seed uint64
+
+	// Physical resources (Table 3).
+	Geometry    diskmodel.Geometry
+	NDisks      int
+	CPUMips     float64
+	Costs       cpumodel.CostTable
+	MemoryPages int // M, the buffer pool size in 8 KB pages
+	FloorPages  int // operator floor (DESIGN.md: MinSortPages)
+
+	// Database (Table 2).
+	NumRel      int
+	RelPages    int // size of each relation, in pages
+	PageRecords int // tuples per page (8 KB / 256 B = 32)
+
+	// Workload.
+	Fluct    memload.Config
+	NumSorts int // sorts (or joins) to measure
+	Algo     core.SortConfig
+
+	// Join mode: perform R ⋈ S instead of sorting. The left relation has
+	// RelPages pages, the right JoinRightPages. Join keys are drawn from
+	// [0, JoinKeySpace) so equi-joins actually match (default 2^20).
+	Join           bool
+	JoinRightPages int
+	JoinKeySpace   uint64
+
+	// Validate re-checks every result for sortedness and completeness
+	// (host-side, free of simulated cost).
+	Validate bool
+}
+
+// MemoryMB converts M megabytes to pages the way the paper's tables do
+// (8 KB pages: 0.3 MB -> 38 pages, 0.07 -> 9, 1.40 -> 179).
+func MemoryMB(mb float64) int {
+	return int(mb*1024/8 + 0.5)
+}
+
+// Default returns the paper's baseline configuration (Section 5.2):
+// ‖R‖ = 20 MB (2560 pages), M = 0.3 MB (38 pages), 10 relations, 1 disk,
+// 20 MIPS, baseline fluctuation, repl6,opt,split.
+func Default() Config {
+	return Config{
+		Seed:        1,
+		Geometry:    diskmodel.DefaultGeometry(),
+		NDisks:      1,
+		CPUMips:     20,
+		Costs:       cpumodel.DefaultCosts(),
+		MemoryPages: MemoryMB(0.3),
+		FloorPages:  3,
+		NumRel:      10,
+		RelPages:    2560,
+		PageRecords: 32,
+		Fluct:       memload.Baseline(),
+		NumSorts:    20,
+		Algo:        core.DefaultConfig(),
+		Validate:    true,
+	}
+}
+
+// Result aggregates one experiment's measurements.
+type Result struct {
+	Sorts []core.SortStats
+	Joins []core.JoinStats
+
+	MeanResponse  time.Duration
+	MeanSplitDur  time.Duration
+	MeanMergeDur  time.Duration
+	MeanRuns      float64
+	MeanSteps     float64
+	MeanExtraIO   float64
+	TotalSplits   int
+	TotalCombines int
+	TotalSuspends int
+
+	// Split-phase delays: how long competing requests waited while the sort
+	// was in its split phase (Figure 9 / Table 8).
+	SplitDelayMean time.Duration
+	SplitDelayMax  time.Duration
+	// Merge-phase delays (paper: consistently < 1 ms).
+	MergeDelayMean time.Duration
+	MergeDelayMax  time.Duration
+
+	DiskStats   diskmodel.Stats
+	CPUBusy     time.Duration
+	SimDuration time.Duration
+	Rejected    int
+}
+
+// Run executes the experiment and aggregates statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumSorts <= 0 {
+		cfg.NumSorts = 1
+	}
+	if cfg.FloorPages < cfg.Algo.MinPages {
+		cfg.FloorPages = max(cfg.Algo.MinPages, 3)
+	}
+	if cfg.MemoryPages < cfg.FloorPages {
+		return nil, fmt.Errorf("simenv: M=%d pages below floor %d", cfg.MemoryPages, cfg.FloorPages)
+	}
+
+	s := sim.New()
+	relSizes := make([]int, cfg.NumRel)
+	for i := range relSizes {
+		relSizes[i] = cfg.RelPages
+	}
+	if cfg.Join {
+		relSizes = []int{cfg.RelPages, cfg.JoinRightPages}
+		if cfg.JoinKeySpace == 0 {
+			cfg.JoinKeySpace = 1 << 20
+		}
+	}
+	layout, err := diskmodel.NewLayout(cfg.Geometry, cfg.NDisks, relSizes)
+	if err != nil {
+		return nil, err
+	}
+	disks := make([]*diskmodel.Disk, cfg.NDisks)
+	for i := range disks {
+		disks[i] = diskmodel.New(s, cfg.Geometry, randx.New(cfg.Seed, fmt.Sprintf("disk-%d", i)))
+	}
+	cpu := cpumodel.New(s, cfg.CPUMips)
+	pool := bufmgr.New(s, cfg.MemoryPages, cfg.FloorPages)
+	memload.Start(s, pool, cfg.Fluct, cfg.Seed)
+
+	res := &Result{}
+	relPick := randx.New(cfg.Seed, "relation-choice")
+	var runErr error
+
+	s.Spawn("source", func(p *sim.Proc) {
+		defer s.Stop()
+		b := &binding{
+			p: p, s: s, cpu: cpu, costs: cfg.Costs,
+			disks: disks, layout: layout, pool: pool, seed: cfg.Seed,
+		}
+		pool.PhaseFn = func() string { return b.phase }
+		for i := 0; i < cfg.NumSorts; i++ {
+			store := newSimStore(b)
+			env := b.newEnv(store)
+			if cfg.Join {
+				left := newRelationInput(b, 0, cfg.RelPages, cfg.PageRecords)
+				right := newRelationInput(b, 1, cfg.JoinRightPages, cfg.PageRecords)
+				left.keySpace = cfg.JoinKeySpace
+				right.keySpace = cfg.JoinKeySpace
+				jr, err := core.SortMergeJoin(env, left, right, cfg.Algo)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if cfg.Validate {
+					if err := validateSorted(store, jr.Result); err != nil {
+						runErr = err
+						return
+					}
+				}
+				if err := store.Free(jr.Result); err != nil {
+					runErr = err
+					return
+				}
+				res.Joins = append(res.Joins, jr.Stats)
+			} else {
+				rel := relPick.IntN(cfg.NumRel)
+				env.In = newRelationInput(b, rel, cfg.RelPages, cfg.PageRecords)
+				sr, err := core.ExternalSort(env, cfg.Algo)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if cfg.Validate {
+					if err := validateSorted(store, sr.Result); err != nil {
+						runErr = err
+						return
+					}
+					if sr.Tuples != cfg.RelPages*cfg.PageRecords {
+						runErr = fmt.Errorf("simenv: sort %d produced %d tuples, want %d",
+							i, sr.Tuples, cfg.RelPages*cfg.PageRecords)
+						return
+					}
+				}
+				if err := store.Free(sr.Result); err != nil {
+					runErr = err
+					return
+				}
+				res.Sorts = append(res.Sorts, sr.Stats)
+			}
+			if pool.OpGranted() != 0 {
+				runErr = fmt.Errorf("simenv: operator %d left %d pages granted", i, pool.OpGranted())
+				return
+			}
+			if inUse := layout.TempInUse(); sumInts(inUse) != 0 {
+				runErr = fmt.Errorf("simenv: operator %d leaked temp pages: %v", i, inUse)
+				return
+			}
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.SimDuration = s.Now()
+	res.CPUBusy = cpu.BusyTime()
+	for _, d := range disks {
+		res.DiskStats.Reads += d.Stats.Reads
+		res.DiskStats.Writes += d.Stats.Writes
+		res.DiskStats.BusyTime += d.Stats.BusyTime
+		res.DiskStats.TotalAccessTime += d.Stats.TotalAccessTime
+		res.DiskStats.SeekTime += d.Stats.SeekTime
+		res.DiskStats.Seeks += d.Stats.Seeks
+	}
+	res.Rejected = pool.Rejected
+	aggregate(res, pool)
+	return res, nil
+}
+
+func sumInts(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func validateSorted(store *simStore, id core.RunID) error {
+	recs := store.data(id)
+	for i := 1; i < len(recs); i++ {
+		if core.Less(recs[i], recs[i-1]) {
+			return fmt.Errorf("simenv: result run %d unsorted at %d", id, i)
+		}
+	}
+	return nil
+}
+
+func aggregate(res *Result, pool *bufmgr.Pool) {
+	stats := res.Sorts
+	if len(res.Joins) > 0 {
+		for _, j := range res.Joins {
+			stats = append(stats, j.SortStats)
+		}
+	}
+	n := len(stats)
+	if n == 0 {
+		return
+	}
+	var resp, split, merge time.Duration
+	var runs, steps, extra float64
+	for _, st := range stats {
+		resp += st.Response
+		split += st.SplitDuration
+		merge += st.MergeDuration
+		runs += float64(st.Runs)
+		steps += float64(st.MergeSteps)
+		extra += float64(st.ExtraMergeReads)
+		res.TotalSplits += st.Splits
+		res.TotalCombines += st.Combines
+		res.TotalSuspends += st.Suspensions
+	}
+	res.MeanResponse = resp / time.Duration(n)
+	res.MeanSplitDur = split / time.Duration(n)
+	res.MeanMergeDur = merge / time.Duration(n)
+	res.MeanRuns = runs / float64(n)
+	res.MeanSteps = steps / float64(n)
+	res.MeanExtraIO = extra / float64(n)
+
+	var splitDelays, mergeDelays []time.Duration
+	for _, d := range pool.Delays {
+		switch d.Phase {
+		case "split":
+			splitDelays = append(splitDelays, d.Delay)
+		case "merge":
+			mergeDelays = append(mergeDelays, d.Delay)
+		}
+	}
+	res.SplitDelayMean, res.SplitDelayMax = meanMax(splitDelays)
+	res.MergeDelayMean, res.MergeDelayMax = meanMax(mergeDelays)
+}
+
+func meanMax(ds []time.Duration) (mean, maxd time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return sum / time.Duration(len(ds)), maxd
+}
+
+// Percentile returns the p-quantile (0..1) of response times, for tests.
+func (r *Result) Percentile(p float64) time.Duration {
+	if len(r.Sorts) == 0 {
+		return 0
+	}
+	ds := make([]time.Duration, len(r.Sorts))
+	for i, s := range r.Sorts {
+		ds[i] = s.Response
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(p * float64(len(ds)-1))
+	return ds[idx]
+}

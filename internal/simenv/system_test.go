@@ -1,0 +1,201 @@
+package simenv
+
+import (
+	"testing"
+	"time"
+
+	"github.com/memadapt/masort/internal/core"
+	"github.com/memadapt/masort/internal/memload"
+)
+
+// smallCfg returns a scaled-down experiment that finishes quickly:
+// 2 MB relations (256 pages), M as given.
+func smallCfg(algo string, mPages, sorts int) Config {
+	cfg := Default()
+	c, err := core.ParseNotation(algo)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Algo = c
+	cfg.RelPages = 256
+	cfg.NumRel = 4
+	cfg.MemoryPages = mPages
+	cfg.NumSorts = sorts
+	return cfg
+}
+
+func TestRunBaselineSmallValidates(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 12, 3)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sorts) != 3 {
+		t.Fatalf("sorts = %d", len(res.Sorts))
+	}
+	if res.MeanResponse <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if res.MeanRuns < 2 {
+		t.Fatalf("runs = %f", res.MeanRuns)
+	}
+	if res.DiskStats.Reads == 0 || res.DiskStats.Writes == 0 {
+		t.Fatal("no disk traffic")
+	}
+	if res.CPUBusy <= 0 {
+		t.Fatal("no CPU time")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg("quick,opt,split", 12, 2)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.DiskStats.Reads != b.DiskStats.Reads {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v",
+			a.MeanResponse, a.DiskStats.Reads, b.MeanResponse, b.DiskStats.Reads)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 12, 2)
+	a, _ := Run(cfg)
+	cfg.Seed = 99
+	b, _ := Run(cfg)
+	if a.MeanResponse == b.MeanResponse {
+		t.Fatal("different seeds should perturb the simulation")
+	}
+}
+
+func TestAll18AlgorithmsInSimulator(t *testing.T) {
+	for _, m := range []string{"quick", "repl1", "repl6"} {
+		for _, ms := range []string{"naive", "opt"} {
+			for _, ad := range []string{"susp", "page", "split"} {
+				name := m + "," + ms + "," + ad
+				t.Run(name, func(t *testing.T) {
+					res, err := Run(smallCfg(name, 10, 1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.MeanResponse <= 0 {
+						t.Fatal("no time elapsed")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestNoFluctuationIsQuiet(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 12, 2)
+	cfg.Fluct = memload.Config{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitDelayMean != 0 || res.TotalSuspends != 0 {
+		t.Fatal("no fluctuation must mean no delays")
+	}
+	// With fixed memory, dynamic splitting should never split beyond the
+	// static plan: splits = initial plan splits only.
+	if res.TotalCombines != 0 {
+		t.Fatalf("combines = %d without fluctuation", res.TotalCombines)
+	}
+}
+
+func TestFluctuationSlowsSortsDown(t *testing.T) {
+	quiet := smallCfg("repl6,opt,split", 12, 3)
+	quiet.Fluct = memload.Config{}
+	busy := smallCfg("repl6,opt,split", 12, 3)
+	busy.Fluct = memload.Baseline()
+	rq, err := Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MeanResponse <= rq.MeanResponse {
+		t.Fatalf("fluctuation must cost time: quiet %v, busy %v", rq.MeanResponse, rb.MeanResponse)
+	}
+}
+
+func TestJoinInSimulator(t *testing.T) {
+	cfg := smallCfg("repl6,opt,split", 12, 2)
+	cfg.Join = true
+	cfg.JoinRightPages = 128
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) != 2 {
+		t.Fatalf("joins = %d", len(res.Joins))
+	}
+	if res.Joins[0].LeftRuns < 2 || res.Joins[0].RightRuns < 1 {
+		t.Fatalf("runs = %d/%d", res.Joins[0].LeftRuns, res.Joins[0].RightRuns)
+	}
+}
+
+// TestJoinResultSizeMatchesBruteForce regenerates the simulated relations
+// host-side and checks the simulated join produced exactly |L ⋈ R| tuples —
+// end-to-end correctness of the simulated memory-adaptive join.
+func TestJoinResultSizeMatchesBruteForce(t *testing.T) {
+	for _, algo := range []string{"repl6,opt,split", "quick,opt,page", "repl1,naive,susp"} {
+		cfg := smallCfg(algo, 12, 1)
+		cfg.Join = true
+		cfg.JoinRightPages = 128
+		cfg.JoinKeySpace = 1 << 12 // dense keys: plenty of matches
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lk := RelationKeys(cfg.Seed, 0, cfg.RelPages, cfg.PageRecords, cfg.JoinKeySpace)
+		rk := RelationKeys(cfg.Seed, 1, cfg.JoinRightPages, cfg.PageRecords, cfg.JoinKeySpace)
+		counts := map[uint64]int{}
+		for _, k := range rk {
+			counts[k]++
+		}
+		want := 0
+		for _, k := range lk {
+			want += counts[k]
+		}
+		if want == 0 {
+			t.Fatal("test needs matches")
+		}
+		if got := res.Joins[0].ResultTuples; got != want {
+			t.Fatalf("%s: join produced %d tuples, brute force says %d", algo, got, want)
+		}
+	}
+}
+
+func TestMemoryMBMatchesPaperTable6Header(t *testing.T) {
+	// Table 6's header: M MBytes -> pages.
+	cases := map[float64]int{
+		0.07: 9, 0.14: 18, 0.21: 27, 0.32: 41,
+		0.42: 54, 0.63: 81, 0.84: 108, 1.40: 179, 0.3: 38,
+	}
+	for mb, want := range cases {
+		if got := MemoryMB(mb); got != want {
+			t.Fatalf("MemoryMB(%v) = %d, want %d", mb, got, want)
+		}
+	}
+}
+
+func TestMergeDelaysTiny(t *testing.T) {
+	// Paper: merge-phase delays are consistently below 1 ms, because input
+	// buffers are released immediately.
+	res, err := Run(smallCfg("quick,opt,split", 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergeDelayMean > time.Millisecond {
+		t.Fatalf("merge delay mean = %v, want < 1ms", res.MergeDelayMean)
+	}
+}

@@ -1,0 +1,149 @@
+package masort
+
+import "github.com/memadapt/masort/internal/core"
+
+// Record is one tuple: records order by Key, then by Payload bytes.
+type Record = core.Record
+
+// Key is the 64-bit sort key.
+type Key = core.Key
+
+// Page is one page worth of records — the unit of memory accounting.
+type Page = core.Page
+
+// RunID names a sorted run inside a RunStore.
+type RunID = core.RunID
+
+// Token is an asynchronous write completion handle.
+type Token = core.Token
+
+// PageToken is an asynchronous read completion handle.
+type PageToken = core.PageToken
+
+// RunStore stores sorted runs; see NewMemStore and NewFileStore for the
+// built-in implementations.
+type RunStore = core.RunStore
+
+// Event is an adaptation event (see Options.OnEvent).
+type Event = core.Event
+
+// EventKind classifies adaptation events.
+type EventKind = core.EventKind
+
+// Adaptation event kinds.
+const (
+	EvSplitStep    = core.EvSplitStep
+	EvCombineStart = core.EvCombineStart
+	EvCombineDone  = core.EvCombineDone
+	EvCombineAbort = core.EvCombineAbort
+	EvSuspend      = core.EvSuspend
+	EvResume       = core.EvResume
+	EvStepDone     = core.EvStepDone
+	EvPhase        = core.EvPhase
+)
+
+// Less reports the record ordering used by all sorts and joins.
+func Less(a, b Record) bool { return core.Less(a, b) }
+
+// Iterator yields records. Next returns ok=false at end of input.
+type Iterator interface {
+	Next() (Record, bool, error)
+}
+
+// sliceIterator iterates over an in-memory slice.
+type sliceIterator struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceIterator returns an Iterator over recs.
+func NewSliceIterator(recs []Record) Iterator {
+	return &sliceIterator{recs: recs}
+}
+
+func (s *sliceIterator) Next() (Record, bool, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, false, nil
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true, nil
+}
+
+// FuncIterator adapts a function to an Iterator.
+type FuncIterator func() (Record, bool, error)
+
+// Next implements Iterator.
+func (f FuncIterator) Next() (Record, bool, error) { return f() }
+
+// Drain reads an iterator to completion.
+func Drain(it Iterator) ([]Record, error) {
+	var out []Record
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// pageInput batches an Iterator into pages for the core algorithms.
+type pageInput struct {
+	it   Iterator
+	size int
+	done bool
+}
+
+func (p *pageInput) NextPage() (core.Page, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	pg := make(core.Page, 0, p.size)
+	for len(pg) < p.size {
+		r, ok, err := p.it.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			p.done = true
+			break
+		}
+		pg = append(pg, r)
+	}
+	if len(pg) == 0 {
+		return nil, false, nil
+	}
+	return pg, true, nil
+}
+
+// runIterator streams a stored run back as records.
+type runIterator struct {
+	store RunStore
+	id    RunID
+	pages int
+	page  int
+	buf   Page
+	pos   int
+}
+
+func (r *runIterator) Next() (Record, bool, error) {
+	for r.pos >= len(r.buf) {
+		if r.page >= r.pages {
+			return Record{}, false, nil
+		}
+		pg, err := r.store.ReadAsync(r.id, r.page).Wait()
+		if err != nil {
+			return Record{}, false, err
+		}
+		r.page++
+		r.buf = pg
+		r.pos = 0
+	}
+	rec := r.buf[r.pos]
+	r.pos++
+	return rec, true, nil
+}

@@ -1,0 +1,229 @@
+package masort
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/memadapt/masort/internal/core"
+)
+
+// Method selects the split-phase in-memory sorting method.
+type Method int
+
+const (
+	// ReplacementSelection produces runs averaging twice the memory size;
+	// with BlockPages > 1 it writes runs in blocks to cut disk seeks. This
+	// is the paper's recommended method (repl6 with BlockPages=6).
+	ReplacementSelection Method = iota
+	// Quicksort fills memory, sorts, and writes memory-sized runs. It frees
+	// memory only at run boundaries, so it reacts to Shrink more slowly.
+	Quicksort
+)
+
+// MergeStrategy selects the preliminary-merge fan-in policy.
+type MergeStrategy int
+
+const (
+	// Optimized merges just enough runs first so every later step merges at
+	// full fan-in (the paper's "opt"; almost always the right choice).
+	Optimized MergeStrategy = iota
+	// Naive merges at full fan-in in every step.
+	Naive
+)
+
+// Adaptation selects the merge-phase reaction to budget changes.
+type Adaptation int
+
+const (
+	// DynamicSplitting splits an executing merge step into sub-steps that
+	// fit a shrunken budget and combines steps when the budget grows — the
+	// paper's contribution and the best performer.
+	DynamicSplitting Adaptation = iota
+	// MRUPaging keeps merging with fewer buffers, paging inputs in and out
+	// with most-recently-used replacement.
+	MRUPaging
+	// Suspension stops the merge until the budget is restored.
+	Suspension
+)
+
+// Options configures Sort and Join. The zero value gives the paper's
+// recommended algorithm (repl6,opt,split) with an in-memory store and a
+// fixed 64-page budget.
+type Options struct {
+	Method     Method
+	BlockPages int // replacement-selection write block; default 6
+	Merge      MergeStrategy
+	Adaptation Adaptation
+
+	// PageRecords sets records per page — the granularity of both I/O and
+	// memory accounting. Default 256.
+	PageRecords int
+
+	// Budget is the adjustable memory contract; default: fixed 64 pages.
+	Budget *Budget
+
+	// Store holds runs; default: NewMemStore(). Use NewFileStore for
+	// datasets larger than memory.
+	Store RunStore
+
+	// AdaptiveBlockIO spends budget beyond a merge step's requirement on
+	// multi-page read-ahead (the paper's §7 future-work extension).
+	AdaptiveBlockIO bool
+
+	// OnEvent, if set, receives adaptation events (phase changes, step
+	// splits, combines, suspensions) as they happen — the observable
+	// history of how the operator reacted to budget changes. The callback
+	// runs on the sorting goroutine and must be fast.
+	OnEvent func(Event)
+}
+
+func (o Options) build() (core.SortConfig, Options, error) {
+	cfg := core.SortConfig{
+		PageRecords: o.PageRecords,
+		BlockPages:  o.BlockPages,
+		MinPages:    3,
+	}
+	if cfg.PageRecords == 0 {
+		cfg.PageRecords = 256
+		o.PageRecords = 256
+	}
+	switch o.Method {
+	case ReplacementSelection:
+		cfg.Method = core.Repl
+		if cfg.BlockPages == 0 {
+			cfg.BlockPages = 6
+		}
+	case Quicksort:
+		cfg.Method = core.Quick
+	default:
+		return cfg, o, fmt.Errorf("masort: unknown method %d", o.Method)
+	}
+	switch o.Merge {
+	case Optimized:
+		cfg.Merge = core.OptMerge
+	case Naive:
+		cfg.Merge = core.NaiveMerge
+	default:
+		return cfg, o, fmt.Errorf("masort: unknown merge strategy %d", o.Merge)
+	}
+	switch o.Adaptation {
+	case DynamicSplitting:
+		cfg.Adapt = core.DynSplit
+	case MRUPaging:
+		cfg.Adapt = core.Paging
+	case Suspension:
+		cfg.Adapt = core.Suspend
+	default:
+		return cfg, o, fmt.Errorf("masort: unknown adaptation %d", o.Adaptation)
+	}
+	cfg.AdaptiveBlockIO = o.AdaptiveBlockIO
+	if o.Budget == nil {
+		o.Budget = NewBudget(64)
+	}
+	if o.Store == nil {
+		o.Store = NewMemStore()
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, o, err
+	}
+	return cfg, o, nil
+}
+
+// Stats reports what a sort or join did.
+type Stats = core.SortStats
+
+// JoinStats extends Stats with join-specific counts.
+type JoinStats = core.JoinStats
+
+// Counters tallies CPU-relevant operations (comparisons, tuple copies).
+type Counters struct {
+	Compares   int64
+	TupleMoves int64
+}
+
+type counterMeter struct {
+	compares atomic.Int64
+	moves    atomic.Int64
+}
+
+func (m *counterMeter) Charge(op core.Op, n int64) {
+	switch op {
+	case core.OpCompare:
+		m.compares.Add(n)
+	case core.OpCopyTuple:
+		m.moves.Add(n)
+	}
+}
+
+// Result is a finished sort: a handle to the sorted run.
+type Result struct {
+	store    RunStore
+	run      RunID
+	Pages    int
+	Tuples   int
+	Stats    Stats
+	Counters Counters
+	freed    bool
+}
+
+// Iterator streams the sorted records.
+func (r *Result) Iterator() Iterator {
+	return &runIterator{store: r.store, id: r.run, pages: r.Pages}
+}
+
+// Free releases the result run's storage. The Result must not be iterated
+// afterwards.
+func (r *Result) Free() error {
+	if r.freed {
+		return errors.New("masort: result already freed")
+	}
+	r.freed = true
+	return r.store.Free(r.run)
+}
+
+// Sort externally sorts the input under the configured memory budget and
+// returns a handle to the sorted run.
+func Sort(input Iterator, opt Options) (*Result, error) {
+	cfg, o, err := opt.build()
+	if err != nil {
+		return nil, err
+	}
+	meter := &counterMeter{}
+	start := time.Now()
+	env := &core.Env{
+		In:      &pageInput{it: input, size: o.PageRecords},
+		Store:   o.Store,
+		Mem:     o.Budget,
+		Meter:   meter,
+		Now:     func() time.Duration { return time.Since(start) },
+		OnEvent: o.OnEvent,
+	}
+	res, err := core.ExternalSort(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		store:  o.Store,
+		run:    res.Result,
+		Pages:  res.Pages,
+		Tuples: res.Tuples,
+		Stats:  res.Stats,
+		Counters: Counters{
+			Compares:   meter.compares.Load(),
+			TupleMoves: meter.moves.Load(),
+		},
+	}, nil
+}
+
+// SortSlice sorts records in external fashion and returns the sorted slice —
+// a convenience wrapper around Sort for small inputs and tests.
+func SortSlice(recs []Record, opt Options) ([]Record, error) {
+	res, err := Sort(NewSliceIterator(recs), opt)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Free()
+	return Drain(res.Iterator())
+}

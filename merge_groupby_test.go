@@ -1,0 +1,271 @@
+package masort
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sortedRecords(n int, start uint64, step uint64) []Record {
+	recs := make([]Record, n)
+	k := start
+	for i := range recs {
+		recs[i] = Record{Key: k}
+		k += step
+	}
+	return recs
+}
+
+func TestWriteRunValidatesOrder(t *testing.T) {
+	store := NewMemStore()
+	id, tuples, err := WriteRun(store, NewSliceIterator(sortedRecords(100, 0, 3)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples != 100 || store.Pages(id) != 13 {
+		t.Fatalf("tuples=%d pages=%d", tuples, store.Pages(id))
+	}
+	if _, _, err := WriteRun(store, NewSliceIterator([]Record{{Key: 5}, {Key: 1}}), 8); err == nil {
+		t.Fatal("unsorted input must be rejected")
+	}
+}
+
+func TestMergeExistingRuns(t *testing.T) {
+	store := NewMemStore()
+	var ids []RunID
+	var all []Record
+	for i := 0; i < 7; i++ {
+		recs := sortedRecords(500+i*100, uint64(i), 7)
+		all = append(all, recs...)
+		id, _, err := WriteRun(store, NewSliceIterator(recs), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	res, err := Merge(store, ids, Options{PageRecords: 32, Budget: NewBudget(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain(res.Iterator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out)
+	assertPermutation(t, all, out)
+	if res.Stats.MergeSteps < 2 {
+		t.Fatalf("5-page budget must force preliminary steps, got %d", res.Stats.MergeSteps)
+	}
+	if err := res.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Live() != 0 {
+		t.Fatalf("input runs must be consumed: %d live", store.Live())
+	}
+}
+
+func TestMergeSingleAndZeroRuns(t *testing.T) {
+	store := NewMemStore()
+	id, _, err := WriteRun(store, NewSliceIterator(sortedRecords(50, 0, 1)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Merge(store, []RunID{id}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Drain(res.Iterator())
+	if len(out) != 50 {
+		t.Fatalf("single-run merge: %d records", len(out))
+	}
+	res0, err := Merge(store, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := Drain(res0.Iterator()); len(out) != 0 {
+		t.Fatal("zero-run merge must be empty")
+	}
+}
+
+func TestMergeUnderBudgetChanges(t *testing.T) {
+	store := NewMemStore()
+	var ids []RunID
+	var all []Record
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 30; i++ {
+		n := 200 + rng.IntN(800)
+		recs := make([]Record, n)
+		for j := range recs {
+			recs[j] = Record{Key: rng.Uint64()}
+		}
+		sort.Slice(recs, func(a, b int) bool { return Less(recs[a], recs[b]) })
+		all = append(all, recs...)
+		id, _, err := WriteRun(store, NewSliceIterator(recs), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	budget := NewBudget(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewPCG(3, 4))
+		for {
+			select {
+			case <-stop:
+				budget.Resize(32)
+				return
+			default:
+				budget.Resize(3 + r.IntN(14))
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	res, err := Merge(store, ids, Options{PageRecords: 16, Budget: budget})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain(res.Iterator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out)
+	assertPermutation(t, all, out)
+}
+
+func TestGroupByCount(t *testing.T) {
+	var recs []Record
+	want := map[uint64]int{}
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 97
+		recs = append(recs, Record{Key: k})
+		want[k]++
+	}
+	res, err := GroupBy(NewSliceIterator(recs), &CountAggregator{}, Options{
+		PageRecords: 64, Budget: NewBudget(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Free()
+	out, err := Drain(res.Iterator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(out), len(want))
+	}
+	for i, rec := range out {
+		if i > 0 && out[i-1].Key >= rec.Key {
+			t.Fatal("group keys not strictly increasing")
+		}
+		n, err := strconv.Atoi(string(rec.Payload))
+		if err != nil || n != want[rec.Key] {
+			t.Fatalf("key %d count %q, want %d", rec.Key, rec.Payload, want[rec.Key])
+		}
+	}
+}
+
+func TestGroupByDistinct(t *testing.T) {
+	recs := []Record{
+		{Key: 2, Payload: []byte("b1")},
+		{Key: 1, Payload: []byte("a1")},
+		{Key: 2, Payload: []byte("b2")},
+		{Key: 1, Payload: []byte("a2")},
+	}
+	res, err := GroupBy(NewSliceIterator(recs), &FirstAggregator{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Free()
+	out, _ := Drain(res.Iterator())
+	if len(out) != 2 || out[0].Key != 1 || out[1].Key != 2 {
+		t.Fatalf("distinct failed: %+v", out)
+	}
+	// The first record of key 1 in sort order is a1 (payload tiebreak).
+	if string(out[0].Payload) != "a1" {
+		t.Fatalf("first payload = %q", out[0].Payload)
+	}
+}
+
+func TestGroupByFuncSum(t *testing.T) {
+	recs := []Record{
+		{Key: 1, Payload: []byte{3}},
+		{Key: 1, Payload: []byte{4}},
+		{Key: 9, Payload: []byte{5}},
+	}
+	sum := 0
+	agg := &FuncAggregator{
+		OnStart:  func(r Record) { sum = int(r.Payload[0]) },
+		OnAdd:    func(r Record) { sum += int(r.Payload[0]) },
+		OnFinish: func(Key) []byte { return []byte(fmt.Sprintf("%d", sum)) },
+	}
+	res, err := GroupBy(NewSliceIterator(recs), agg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Free()
+	out, _ := Drain(res.Iterator())
+	if len(out) != 2 || string(out[0].Payload) != "7" || string(out[1].Payload) != "5" {
+		t.Fatalf("sums = %+v", out)
+	}
+}
+
+func TestGroupByEmpty(t *testing.T) {
+	res, err := GroupBy(NewSliceIterator(nil), &CountAggregator{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Free()
+	out, _ := Drain(res.Iterator())
+	if len(out) != 0 {
+		t.Fatal("empty input must yield no groups")
+	}
+}
+
+func TestGroupByUnderBudgetChanges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	recs := make([]Record, 60000)
+	want := map[uint64]int{}
+	for i := range recs {
+		k := rng.Uint64() % 512
+		recs[i] = Record{Key: k}
+		want[k]++
+	}
+	budget := NewBudget(24)
+	stop := make(chan struct{})
+	go func() {
+		r := rand.New(rand.NewPCG(9, 9))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				budget.Resize(3 + r.IntN(22))
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	res, err := GroupBy(NewSliceIterator(recs), &CountAggregator{}, Options{
+		PageRecords: 64, Budget: budget,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Free()
+	out, _ := Drain(res.Iterator())
+	if len(out) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(out), len(want))
+	}
+}
