@@ -8,6 +8,7 @@ package masort
 // produced by cmd/masim (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strconv"
@@ -240,11 +241,11 @@ func BenchmarkRealSort(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt.Budget = NewBudget(32)
 				opt.Store = NewMemStore()
-				res, err := Sort(NewSliceIterator(recs), opt)
+				res, err := Sort(context.Background(), NewSliceIterator(recs), WithOptions(opt))
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := res.Free(); err != nil {
+				if err := res.Close(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -270,12 +271,13 @@ func BenchmarkRealSortAdaptive(b *testing.B) {
 				}
 			}
 		}()
-		res, err := Sort(NewSliceIterator(recs), Options{PageRecords: 256, Budget: budget})
+		res, err := Sort(context.Background(), NewSliceIterator(recs),
+			WithPageRecords(256), WithBudget(budget))
 		close(done)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res.Free()
+		res.Close()
 	}
 	b.SetBytes(int64(len(recs) * 8))
 }
@@ -293,12 +295,12 @@ func BenchmarkRealJoin(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Join(NewSliceIterator(l), NewSliceIterator(r),
-			Options{PageRecords: 256, Budget: NewBudget(24)})
+		res, err := Join(context.Background(), NewSliceIterator(l), NewSliceIterator(r),
+			WithPageRecords(256), WithBudget(NewBudget(24)))
 		if err != nil {
 			b.Fatal(err)
 		}
-		res.Free()
+		res.Close()
 	}
 }
 
@@ -312,13 +314,12 @@ func BenchmarkFileStore(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := Sort(NewSliceIterator(recs), Options{
-			PageRecords: 256, Budget: NewBudget(16), Store: store,
-		})
+		res, err := Sort(context.Background(), NewSliceIterator(recs),
+			WithPageRecords(256), WithBudget(NewBudget(16)), WithStore(store))
 		if err != nil {
 			b.Fatal(err)
 		}
-		res.Free()
+		res.Close()
 		store.Close()
 	}
 	b.SetBytes(int64(len(recs) * 8))

@@ -1,6 +1,9 @@
 package masort
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Budget arbitrates memory between a running sort (or join) and the rest of
 // the application, in logical pages. It implements the operator side of the
@@ -128,4 +131,45 @@ func (b *Budget) WaitChange() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.cond.Wait()
+}
+
+// wake broadcasts under the lock. Used by the context-aware waits: taking
+// the mutex orders the broadcast against a waiter that is between its
+// cancellation check and cond.Wait, so a cancel can never be missed.
+func (b *Budget) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// WaitTargetCtx blocks until the target is at least n or ctx is canceled,
+// returning ctx's error in the latter case. It makes suspension waits
+// cancelable: a suspended sort whose context is canceled returns promptly
+// instead of sleeping until the budget happens to be restored.
+func (b *Budget) WaitTargetCtx(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, b.wake)
+	defer stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.target < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.cond.Wait()
+	}
+	return nil
+}
+
+// WaitChangeCtx blocks until the budget changes or ctx is canceled,
+// returning ctx's error in the latter case.
+func (b *Budget) WaitChangeCtx(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, b.wake)
+	defer stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.cond.Wait()
+	return ctx.Err()
 }

@@ -15,11 +15,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -141,34 +143,35 @@ func main() {
 		fail(err)
 	}
 
-	opt := masort.Options{
-		BlockPages:  *block,
-		PageRecords: *prec,
-		Budget:      masort.NewBudget(*budget),
+	pages := masort.NewBudget(*budget)
+	opts := []masort.Option{
+		masort.WithBlockPages(*block),
+		masort.WithPageRecords(*prec),
+		masort.WithBudget(pages),
 	}
 	switch *method {
 	case "repl":
-		opt.Method = masort.ReplacementSelection
+		opts = append(opts, masort.WithMethod(masort.ReplacementSelection))
 	case "quick":
-		opt.Method = masort.Quicksort
+		opts = append(opts, masort.WithMethod(masort.Quicksort))
 	default:
 		fail(fmt.Errorf("unknown -method %q", *method))
 	}
 	switch *adapt {
 	case "split":
-		opt.Adaptation = masort.DynamicSplitting
+		opts = append(opts, masort.WithAdaptation(masort.DynamicSplitting))
 	case "page":
-		opt.Adaptation = masort.MRUPaging
+		opts = append(opts, masort.WithAdaptation(masort.MRUPaging))
 	case "susp":
-		opt.Adaptation = masort.Suspension
+		opts = append(opts, masort.WithAdaptation(masort.Suspension))
 	default:
 		fail(fmt.Errorf("unknown -adapt %q", *adapt))
 	}
 	switch *merge {
 	case "opt":
-		opt.Merge = masort.Optimized
+		opts = append(opts, masort.WithMergeStrategy(masort.Optimized))
 	case "naive":
-		opt.Merge = masort.Naive
+		opts = append(opts, masort.WithMergeStrategy(masort.Naive))
 	default:
 		fail(fmt.Errorf("unknown -merge %q", *merge))
 	}
@@ -178,14 +181,19 @@ func main() {
 			fail(err)
 		}
 		defer fs.Close()
-		opt.Store = fs
+		opts = append(opts, masort.WithStore(fs))
 	}
 	if *events {
-		opt.OnEvent = func(ev masort.Event) {
+		opts = append(opts, masort.WithEvents(func(ev masort.Event) {
 			fmt.Fprintf(os.Stderr, "event %-13s t=%-14v target=%-4d granted=%-4d detail=%d %s\n",
 				ev.Kind, ev.At, ev.Target, ev.Granted, ev.Detail, ev.Phase)
-		}
+		}))
 	}
+
+	// Ctrl-C cancels the sort at its next adaptation point; all run
+	// storage is released before exiting.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	// The input iterator fires scripted budget changes at record milestones.
 	idx := 0
@@ -196,13 +204,13 @@ func main() {
 			ch := pending[0]
 			pending = pending[1:]
 			if ch.delta >= 0 {
-				opt.Budget.Grow(ch.delta)
+				pages.Grow(ch.delta)
 			} else {
-				opt.Budget.Shrink(-ch.delta)
+				pages.Shrink(-ch.delta)
 			}
 			if *stats {
 				fmt.Fprintf(os.Stderr, "budget %+d pages at record %d (target now %d)\n",
-					ch.delta, seen, opt.Budget.Target())
+					ch.delta, seen, pages.Target())
 			}
 		}
 		if idx >= len(lines) {
@@ -215,11 +223,11 @@ func main() {
 		return masort.Record{Key: keyOf(*keyMode, line), Payload: line}, true, nil
 	})
 
-	res, err := masort.Sort(it, opt)
+	res, err := masort.Sort(ctx, it, opts...)
 	if err != nil {
 		fail(err)
 	}
-	defer res.Free()
+	defer res.Close()
 
 	dst := os.Stdout
 	if *outPath != "" {
@@ -231,14 +239,9 @@ func main() {
 		dst = f
 	}
 	w := bufio.NewWriter(dst)
-	iter := res.Iterator()
-	for {
-		rec, ok, err := iter.Next()
+	for rec, err := range res.All() {
 		if err != nil {
 			fail(err)
-		}
-		if !ok {
-			break
 		}
 		if _, err := w.Write(rec.Payload); err != nil {
 			fail(err)

@@ -24,23 +24,28 @@
 // Quick start:
 //
 //	budget := masort.NewBudget(64) // 64 pages
-//	res, err := masort.Sort(masort.NewSliceIterator(records), masort.Options{
-//		Budget: budget,
-//	})
+//	res, err := masort.Sort(ctx, masort.NewSliceIterator(records),
+//		masort.WithBudget(budget),
+//	)
 //	if err != nil { ... }
-//	defer res.Free()
-//	it := res.Iterator()
-//	for {
-//		rec, ok, err := it.Next()
+//	defer res.Close()
+//	for rec, err := range res.All() {
+//		if err != nil { ... }
 //		...
 //	}
 //
-// While Sort runs, budget.Shrink(16) or budget.Grow(32) adjusts its memory.
-// The default configuration is the paper's recommendation: replacement
-// selection with 6-page block writes, optimized merging, dynamic splitting
-// ("repl6,opt,split").
+// While Sort runs, budget.Shrink(16) or budget.Grow(32) adjusts its memory,
+// and canceling ctx aborts it at the next adaptation point with all run
+// storage released. The default configuration is the paper's
+// recommendation: replacement selection with 6-page block writes, optimized
+// merging, dynamic splitting ("repl6,opt,split").
 //
-// The repository also contains a full reproduction of the paper's
-// evaluation on a simulated DBMS (cmd/masim); see DESIGN.md and
-// EXPERIMENTS.md.
+// Arbitrary record types flow through the engine via the generic facade:
+// define a Codec[T] (key extraction plus payload encode/decode) and use
+// SortT or SortSliceT. Sort-merge joins (Join), grouped aggregation
+// (GroupBy) and run compaction (Merge) run on the same adaptive machinery
+// and compose through the shared *Budget.
+//
+// See README.md for a tour of the repository, and cmd/masim for the full
+// reproduction of the paper's evaluation on a simulated DBMS.
 package masort

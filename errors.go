@@ -1,0 +1,40 @@
+package masort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrFreed is returned when a Result's storage is released twice, or when a
+// closed Result is iterated.
+var ErrFreed = errors.New("masort: result already freed")
+
+// ErrCanceled wraps the context error returned when a Sort, Join, GroupBy
+// or Merge is canceled or times out. The original context error is
+// preserved in the chain, so both
+//
+//	errors.Is(err, masort.ErrCanceled)
+//	errors.Is(err, context.Canceled) // or context.DeadlineExceeded
+//
+// report true.
+var ErrCanceled = errors.New("masort: operation canceled")
+
+// wrapCtxErr maps context cancellation onto ErrCanceled, keeping the
+// original error in the chain; other errors pass through unchanged. The
+// wrap is gated on the OPERATION's context actually being done: an input
+// iterator may surface a context error from some unrelated context of its
+// own (a DB fetch that timed out, say), and labeling that ErrCanceled
+// would misreport an input failure as a user cancellation.
+func wrapCtxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx == nil || ctx.Err() == nil {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

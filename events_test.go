@@ -3,6 +3,7 @@ package masort
 import (
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -13,10 +14,10 @@ func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
 	var mu sync.Mutex
 	counts := map[EventKind]int{}
 	var phases []string
-	opt := Options{
-		PageRecords: 64,
-		Budget:      budget,
-		OnEvent: func(ev Event) {
+	opts := []Option{
+		WithPageRecords(64),
+		WithBudget(budget),
+		WithEvents(func(ev Event) {
 			mu.Lock()
 			counts[ev.Kind]++
 			if ev.Kind == EvPhase {
@@ -26,7 +27,7 @@ func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
 				t.Errorf("bad event memory state: %+v", ev)
 			}
 			mu.Unlock()
-		},
+		}),
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -45,7 +46,7 @@ func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
 			}
 		}
 	}()
-	out, err := SortSlice(in, opt)
+	out, err := SortSlice(t.Context(), in, opts...)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -72,38 +73,53 @@ func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
 	}
 }
 
+// shrinkOnRead slashes the budget to the floor on its nth page read. Merge
+// steps read pages continuously, so the shrink is guaranteed to land
+// MID-step — the only moment a suspension can trigger (a step planned
+// after the shrink would simply use fan-in 2). Driving the shrink from the
+// sort's own I/O path makes the test deterministic even on one CPU, where
+// a wall-clock squeeze goroutine may never be scheduled inside the merge
+// window.
+type shrinkOnRead struct {
+	*MemStore
+	budget *Budget
+	at     int64
+	reads  atomic.Int64
+}
+
+func (s *shrinkOnRead) ReadAsync(id RunID, page int) PageToken {
+	if s.reads.Add(1) == s.at {
+		s.budget.Resize(3)
+	}
+	return s.MemStore.ReadAsync(id, page)
+}
+
 func TestEventsSuspension(t *testing.T) {
 	in := randomRecords(80_000, 23, 0)
 	budget := NewBudget(24)
+	store := &shrinkOnRead{MemStore: NewMemStore(), budget: budget, at: 100}
 	var mu sync.Mutex
 	suspends, resumes := 0, 0
-	opt := Options{
-		Adaptation:  Suspension,
-		PageRecords: 64,
-		Budget:      budget,
-		OnEvent: func(ev Event) {
+	out, err := SortSlice(t.Context(), in,
+		WithAdaptation(Suspension),
+		WithPageRecords(64),
+		WithBudget(budget),
+		WithStore(store),
+		WithEvents(func(ev Event) {
 			mu.Lock()
 			switch ev.Kind {
 			case EvSuspend:
 				suspends++
+				// Restore the budget so the suspended sort resumes. The
+				// callback runs on the sorting goroutine just before it
+				// parks; the wait's entry check sees the new target.
+				go budget.Resize(24)
 			case EvResume:
 				resumes++
 			}
 			mu.Unlock()
-		},
-	}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for i := 0; i < 200; i++ {
-			budget.Resize(3)
-			time.Sleep(200 * time.Microsecond)
-			budget.Resize(24)
-			time.Sleep(200 * time.Microsecond)
-		}
-	}()
-	out, err := SortSlice(in, opt)
-	<-done
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -64,18 +65,18 @@ func run(name string, adapt masort.Adaptation, recs []masort.Record) {
 	defer store.Close()
 
 	start := time.Now()
-	res, err := masort.Sort(masort.NewSliceIterator(recs), masort.Options{
-		Adaptation:  adapt,
-		PageRecords: 256,
-		Budget:      budget,
-		Store:       store,
-	})
+	res, err := masort.Sort(context.Background(), masort.NewSliceIterator(recs),
+		masort.WithAdaptation(adapt),
+		masort.WithPageRecords(256),
+		masort.WithBudget(budget),
+		masort.WithStore(store),
+	)
 	close(stop)
 	wg.Wait()
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	defer res.Free()
+	defer res.Close()
 
 	s := res.Stats
 	fmt.Printf("%-18s %8v  runs=%-4d steps=%-3d splits=%-3d combines=%-3d suspensions=%-3d extraReads=%d\n",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -42,16 +43,18 @@ func main() {
 
 	budget := masort.NewBudget(48)
 	var events atomic.Int64
-	opt := masort.Options{
-		PageRecords: 256,
-		Budget:      budget,
-		OnEvent: func(ev masort.Event) {
+	// One option set shared by both joins: the same budget, page size and
+	// event sink make the two operators behave as one adaptive plan.
+	opts := []masort.Option{
+		masort.WithPageRecords(256),
+		masort.WithBudget(budget),
+		masort.WithEvents(func(ev masort.Event) {
 			n := events.Add(1)
 			if n <= 8 || ev.Kind == masort.EvCombineDone || ev.Kind == masort.EvSuspend {
 				fmt.Printf("  [event] %-13s t=%-12v target=%d granted=%d\n",
 					ev.Kind, ev.At.Round(time.Microsecond), ev.Target, ev.Granted)
 			}
-		},
+		}),
 	}
 
 	// Squeeze the budget periodically for the whole query's lifetime.
@@ -70,15 +73,16 @@ func main() {
 	}()
 	defer close(stop)
 
+	ctx := context.Background()
 	start := time.Now()
 	// Stage 1: lineitems ⋈ orders on order id.
-	j1, err := masort.Join(
+	j1, err := masort.Join(ctx,
 		masort.NewSliceIterator(lineitems),
-		masort.NewSliceIterator(orders), opt)
+		masort.NewSliceIterator(orders), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer j1.Free()
+	defer j1.Close()
 	fmt.Printf("stage 1: lineitems⋈orders -> %d rows (%d splits, %d combines)\n",
 		j1.Tuples, j1.Stats.Splits, j1.Stats.Combines)
 
@@ -87,11 +91,11 @@ func main() {
 	rekeyed := masort.FuncIterator(func() (masort.Record, bool, error) {
 		return nextRekeyed(j1)
 	})
-	j2, err := masort.Join(rekeyed, masort.NewSliceIterator(customers), opt)
+	j2, err := masort.Join(ctx, rekeyed, masort.NewSliceIterator(customers), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer j2.Free()
+	defer j2.Close()
 
 	fmt.Printf("stage 2: ⋈customers -> %d rows (%d splits, %d combines)\n",
 		j2.Tuples, j2.Stats.Splits, j2.Stats.Combines)
@@ -105,7 +109,7 @@ func main() {
 // stage-1 iterator state (package-level to keep the closure tiny).
 var stage1Iter masort.Iterator
 
-func nextRekeyed(j1 *masort.JoinResult) (masort.Record, bool, error) {
+func nextRekeyed(j1 *masort.Result) (masort.Record, bool, error) {
 	if stage1Iter == nil {
 		stage1Iter = j1.Iterator()
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -26,14 +27,14 @@ func main() {
 		return masort.Record{Key: rng.Uint64()}, true, nil
 	})
 
-	res, err := masort.Sort(input, masort.Options{
-		PageRecords: 512,                  // 512 records per page
-		Budget:      masort.NewBudget(64), // 64 pages of working memory
-	})
+	res, err := masort.Sort(context.Background(), input,
+		masort.WithPageRecords(512),             // 512 records per page
+		masort.WithBudget(masort.NewBudget(64)), // 64 pages of working memory
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 
 	fmt.Printf("sorted %d records in %v\n", res.Tuples, res.Stats.Response)
 	fmt.Printf("  split phase: %d runs in %v\n", res.Stats.Runs, res.Stats.SplitDuration)
@@ -41,11 +42,10 @@ func main() {
 	fmt.Printf("  %d comparisons, %d tuple moves\n", res.Counters.Compares, res.Counters.TupleMoves)
 
 	// Verify the first few records stream back in order.
-	it := res.Iterator()
 	prev := uint64(0)
-	for i := 0; i < 5; i++ {
-		rec, ok, err := it.Next()
-		if err != nil || !ok {
+	i := 0
+	for rec, err := range res.All() {
+		if err != nil {
 			log.Fatalf("iterate: %v", err)
 		}
 		if rec.Key < prev {
@@ -53,5 +53,8 @@ func main() {
 		}
 		prev = rec.Key
 		fmt.Printf("  record %d: key=%d\n", i, rec.Key)
+		if i++; i >= 5 {
+			break
+		}
 	}
 }

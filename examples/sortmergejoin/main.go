@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -52,22 +53,21 @@ func main() {
 	}()
 
 	start := time.Now()
-	res, err := masort.Join(
+	res, err := masort.Join(context.Background(),
 		masort.NewSliceIterator(orders),
 		masort.NewSliceIterator(customers),
-		masort.Options{
-			PageRecords: 256,
-			Budget:      budget,
-		})
+		masort.WithPageRecords(256),
+		masort.WithBudget(budget),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 
 	fmt.Printf("joined %d orders x %d customers -> %d rows in %v\n",
 		nOrders, nCustomers, res.Tuples, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  runs: %d (orders) + %d (customers), %d merge steps, %d splits, %d combines\n",
-		res.Stats.LeftRuns, res.Stats.RightRuns, res.Stats.MergeSteps,
+		res.Join.LeftRuns, res.Join.RightRuns, res.Stats.MergeSteps,
 		res.Stats.Splits, res.Stats.Combines)
 
 	it := res.Iterator()

@@ -1,0 +1,3 @@
+module github.com/memadapt/masort
+
+go 1.24

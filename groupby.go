@@ -1,6 +1,9 @@
 package masort
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Aggregator folds the records of one key group into a single output
 // record. GroupBy creates no intermediate state per distinct key — groups
@@ -60,18 +63,31 @@ func (f *FuncAggregator) Finish(k Key) []byte { return f.OnFinish(k) }
 // GroupBy groups the input by Record.Key and folds each group with agg,
 // returning one record per distinct key (sorted by key). The grouping runs
 // on the memory-adaptive external sort, so the budget may be resized while
-// it executes; the aggregation pass itself uses two pages.
-func GroupBy(input Iterator, agg Aggregator, opt Options) (*Result, error) {
-	sorted, err := Sort(input, opt)
+// it executes; the aggregation pass itself uses two pages. Cancellation is
+// observed both by the underlying sort and between aggregation pages.
+func GroupBy(ctx context.Context, input Iterator, agg Aggregator, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := applyOptions(opts)
+	sorted, err := sortWith(ctx, input, opt)
 	if err != nil {
 		return nil, err
 	}
-	defer sorted.Free()
+	defer sorted.Close()
 	store := sorted.store
 	out, err := store.Create()
 	if err != nil {
 		return nil, err
 	}
+	// The aggregation pass materializes into `out`; abandon it on error so
+	// a failed or canceled GroupBy leaves no storage behind.
+	committed := false
+	defer func() {
+		if !committed {
+			_ = store.Free(out)
+		}
+	}()
 	prec := opt.PageRecords
 	if prec <= 0 {
 		prec = 256
@@ -87,6 +103,9 @@ func GroupBy(input Iterator, agg Aggregator, opt Options) (*Result, error) {
 	flush := func() error {
 		if len(pg) == 0 {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return wrapCtxErr(ctx, err)
 		}
 		tok, err := store.Append(out, []Page{pg})
 		if err != nil {
@@ -140,6 +159,7 @@ func GroupBy(input Iterator, agg Aggregator, opt Options) (*Result, error) {
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	committed = true
 	return &Result{
 		store:    store,
 		run:      out,

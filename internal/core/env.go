@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // RunID identifies a sorted run in a RunStore.
 type RunID int
@@ -80,12 +83,27 @@ type Meter interface {
 	Charge(op Op, n int64)
 }
 
+// ContextBroker is optionally implemented by brokers whose blocking waits
+// can be interrupted by context cancellation. When the Env carries a context
+// and its broker implements ContextBroker, suspension and empty-pool waits
+// return the context's error promptly instead of blocking until the next
+// budget change.
+type ContextBroker interface {
+	WaitTargetCtx(ctx context.Context, n int) error
+	WaitChangeCtx(ctx context.Context) error
+}
+
 // Env bundles the substrate a sort executes against.
 type Env struct {
 	In    Input
 	Store RunStore
 	Mem   Broker
 	Meter Meter
+	// Ctx, when non-nil, cancels the operation: it is polled at every
+	// adaptation point (split-phase page boundaries, merge output-page and
+	// step boundaries, suspension waits), and the sort returns Ctx.Err()
+	// promptly, freeing every run it created along the way.
+	Ctx context.Context
 	// Now returns the current time (simulated or wall-clock).
 	Now func() time.Duration
 	// SetPhase optionally reports phase transitions ("split", "merge",
@@ -136,5 +154,63 @@ func (e *Env) now() time.Duration {
 func (e *Env) trace(format string, args ...any) {
 	if e.Trace != nil {
 		e.Trace(format, args...)
+	}
+}
+
+// ctxErr reports the Env's cancellation state.
+func (e *Env) ctxErr() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Err()
+}
+
+// waitTarget blocks until the broker's target reaches n or the Env's
+// context is canceled.
+func (e *Env) waitTarget(n int) error {
+	if e.Ctx != nil {
+		if cb, ok := e.Mem.(ContextBroker); ok {
+			return cb.WaitTargetCtx(e.Ctx, n)
+		}
+		if err := e.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	e.Mem.WaitTarget(n)
+	return nil
+}
+
+// waitChange blocks until the budget changes or the Env's context is
+// canceled.
+func (e *Env) waitChange() error {
+	if e.Ctx != nil {
+		if cb, ok := e.Mem.(ContextBroker); ok {
+			return cb.WaitChangeCtx(e.Ctx)
+		}
+		if err := e.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	e.Mem.WaitChange()
+	return nil
+}
+
+// yieldAll hands every granted page back to the broker.
+func (e *Env) yieldAll() {
+	if g := e.Mem.Granted(); g > 0 {
+		e.Mem.Yield(g)
+	}
+}
+
+// freeRuns releases runs abandoned by an aborted operation (best effort:
+// store errors during cleanup are dropped in favor of the original error).
+func freeRuns(e *Env, runs []*runInfo) {
+	for _, r := range runs {
+		if r == nil || r.freed {
+			continue
+		}
+		r.freed = true
+		r.drop()
+		_ = e.Store.Free(r.id)
 	}
 }

@@ -34,6 +34,8 @@ func SortMergeJoin(e *Env, left, right Input, cfg SortConfig) (*JoinResult, erro
 	e.In = left
 	lruns, err := splitPhase(e, cfg, &st.SortStats)
 	if err != nil {
+		freeRuns(e, lruns)
+		e.yieldAll()
 		return nil, fmt.Errorf("core: join split (left): %w", err)
 	}
 	st.LeftRuns = len(lruns)
@@ -41,6 +43,9 @@ func SortMergeJoin(e *Env, left, right Input, cfg SortConfig) (*JoinResult, erro
 	e.In = right
 	rruns, err := splitPhase(e, cfg, &st.SortStats)
 	if err != nil {
+		freeRuns(e, lruns)
+		freeRuns(e, rruns)
+		e.yieldAll()
 		return nil, fmt.Errorf("core: join split (right): %w", err)
 	}
 	st.RightRuns = len(rruns)
@@ -55,6 +60,7 @@ func SortMergeJoin(e *Env, left, right Input, cfg SortConfig) (*JoinResult, erro
 	}
 	out, err := j.run()
 	if err != nil {
+		e.yieldAll()
 		return nil, err
 	}
 	st.MergeDuration = e.now() - tm
@@ -88,17 +94,24 @@ type joinEngine struct {
 func (j *joinEngine) run() (*runInfo, error) {
 	out, err := j.m.newOutRun()
 	if err != nil {
+		j.releaseAll()
 		return nil, err
 	}
 	j.out = out
 	j.m.e.setReclaimFn(j.m.reclaim)
 	defer j.m.e.setReclaimFn(nil)
 	for {
+		// Merge-step boundary: cancellation is observed here.
+		if err := j.m.e.ctxErr(); err != nil {
+			j.releaseAll()
+			return nil, err
+		}
 		target := max(j.m.e.Mem.Target(), j.m.cfg.MinPages)
 		need := len(j.left) + len(j.right) + 1
 		if need <= target || len(j.left)+len(j.right) <= 2 {
 			done, err := j.jointStep()
 			if err != nil {
+				j.releaseAll()
 				return nil, err
 			}
 			if done {
@@ -107,9 +120,23 @@ func (j *joinEngine) run() (*runInfo, error) {
 			continue // interrupted by a shortage: re-plan
 		}
 		if err := j.prelimStep(target); err != nil {
+			j.releaseAll()
 			return nil, err
 		}
 	}
+}
+
+// releaseAll abandons the join after an error: both relations' remaining
+// runs and the partial output are freed and all granted pages handed back,
+// via the merge engine's abort protocol on a synthetic step spanning both
+// relations. Runs already freed by an inner merge engine are skipped via
+// their freed flag, so double cleanup is harmless.
+func (j *joinEngine) releaseAll() {
+	st := &mergeStep{
+		inputs: append(append([]*runInfo(nil), j.left...), j.right...),
+		out:    j.out,
+	}
+	j.m.releaseStep(st)
 }
 
 // prelimStep merges k shortest runs of one relation into a longer run,
@@ -214,7 +241,10 @@ func (j *joinEngine) jointStep() (bool, error) {
 	}
 
 	for {
-		// Adaptation point (page granularity).
+		// Adaptation point (page granularity); cancellation is observed here.
+		if err := m.e.ctxErr(); err != nil {
+			return false, err
+		}
 		if m.cfg.Adapt == DynSplit {
 			m.rebalance(st)
 			target := max(m.e.Mem.Target(), m.cfg.MinPages)
@@ -241,14 +271,18 @@ func (j *joinEngine) jointStep() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			m.ensureProgress(st)
+			if err := m.ensureProgress(st); err != nil {
+				return false, err
+			}
 			continue
 		}
 		if res, err := prime(j.right, &rh); err != nil || res == needAdapt {
 			if err != nil {
 				return false, err
 			}
-			m.ensureProgress(st)
+			if err := m.ensureProgress(st); err != nil {
+				return false, err
+			}
 			continue
 		}
 
@@ -273,7 +307,9 @@ func (j *joinEngine) jointStep() (bool, error) {
 			m.st.MergeSteps++
 			return true, nil
 		case needAdapt:
-			m.ensureProgress(st)
+			if err := m.ensureProgress(st); err != nil {
+				return false, err
+			}
 		case pageProduced:
 			// loop
 		}
@@ -300,7 +336,15 @@ func (j *joinEngine) joinSome(st *mergeStep, lh, rh *headHeap) (stepResult, erro
 		}
 		if len(lh.rs) == 0 || len(rh.rs) == 0 {
 			// One side exhausted, no group pending: no matches remain.
-			if j.drainAll(st, lh) && j.drainAll(st, rh) {
+			lDone, err := j.drainAll(st, lh)
+			if err != nil {
+				return 0, err
+			}
+			rDone, err := j.drainAll(st, rh)
+			if err != nil {
+				return 0, err
+			}
+			if lDone && rDone {
 				return stepDone, nil
 			}
 			return needAdapt, nil
@@ -409,14 +453,17 @@ func (j *joinEngine) processGroup(st *mergeStep, lh, rh *headHeap, produced *int
 }
 
 // drainAll consumes the rest of one side without emitting (no matches
-// remain). Returns false if a load blocked.
-func (j *joinEngine) drainAll(st *mergeStep, hh *headHeap) bool {
+// remain). Returns done=false if a load blocked on memory.
+func (j *joinEngine) drainAll(st *mergeStep, hh *headHeap) (done bool, err error) {
 	m := j.m
 	for len(hh.rs) > 0 {
 		r := hh.rs[0]
 		res, err := m.advanceRun(st, r)
-		if err != nil || res == advBlocked {
-			return false
+		if err != nil {
+			return false, err
+		}
+		if res == advBlocked {
+			return false, nil
 		}
 		if res == advDry {
 			hh.popRoot()
@@ -424,5 +471,5 @@ func (j *joinEngine) drainAll(st *mergeStep, hh *headHeap) bool {
 			hh.fixRoot()
 		}
 	}
-	return true
+	return true, nil
 }

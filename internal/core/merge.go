@@ -103,6 +103,33 @@ func (m *mergeEngine) newOutRun() (*runInfo, error) {
 	return &runInfo{id: id}, nil
 }
 
+// releaseStep abandons a merge after an error: the in-flight write is
+// awaited, every run still owned by the step chain (inputs, outputs, and a
+// combine-in-progress sub-step's runs) is freed, and all granted pages are
+// handed back. This is the no-leak guarantee for canceled operations.
+func (m *mergeEngine) releaseStep(st *mergeStep) {
+	_ = m.waitOut()
+	m.outBuf = nil
+	seen := map[*mergeStep]bool{}
+	var visit func(*mergeStep)
+	visit = func(s *mergeStep) {
+		if s == nil || seen[s] {
+			return
+		}
+		seen[s] = true
+		for _, r := range s.inputs {
+			_ = m.freeRun(r)
+		}
+		if s.out != nil {
+			_ = m.freeRun(s.out)
+		}
+		visit(s.parent)
+		visit(s.drainOf)
+	}
+	visit(st)
+	m.e.yieldAll()
+}
+
 // ---- static plans (suspension & paging) ----
 
 // runStatic implements static splitting (paper §2.2): the fan-in of each
@@ -112,6 +139,12 @@ func (m *mergeEngine) newOutRun() (*runInfo, error) {
 func (m *mergeEngine) runStatic(runs []*runInfo) (*runInfo, error) {
 	pool := append([]*runInfo(nil), runs...)
 	for len(pool) > 1 {
+		// Step boundary: cancellation is observed here.
+		if err := m.e.ctxErr(); err != nil {
+			freeRuns(m.e, pool)
+			m.e.yieldAll()
+			return nil, err
+		}
 		// Unpinned surplus between steps is released immediately.
 		if p := m.e.Mem.Pressure(); p > 0 {
 			m.e.Mem.Yield(min(p, m.e.Mem.Granted()))
@@ -121,11 +154,15 @@ func (m *mergeEngine) runStatic(runs []*runInfo) (*runInfo, error) {
 		chosen, rest := pickRuns(pool, k, !m.cfg.NoShortestFirst)
 		out, err := m.newOutRun()
 		if err != nil {
+			freeRuns(m.e, pool)
+			m.e.yieldAll()
 			return nil, err
 		}
 		st := &mergeStep{inputs: chosen, out: out}
 		out.producer = st
 		if err := m.executeStep(st); err != nil {
+			m.releaseStep(st)
+			freeRuns(m.e, rest)
 			return nil, err
 		}
 		pool = append(rest, out)
@@ -138,6 +175,10 @@ func (m *mergeEngine) executeStep(st *mergeStep) error {
 	m.curStep = st
 	defer func() { m.curStep = nil }()
 	for {
+		// Output-page boundary: cancellation is observed here.
+		if err := m.e.ctxErr(); err != nil {
+			return err
+		}
 		if err := m.adaptStatic(st); err != nil {
 			return err
 		}
@@ -154,7 +195,9 @@ func (m *mergeEngine) executeStep(st *mergeStep) error {
 			if err := m.adaptStatic(st); err != nil {
 				return err
 			}
-			m.ensureProgress(st)
+			if err := m.ensureProgress(st); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -183,7 +226,11 @@ func (m *mergeEngine) adaptStatic(st *mergeStep) error {
 		m.e.Mem.Yield(m.e.Mem.Granted())
 		m.st.Suspensions++
 		m.e.emit(EvSuspend, need, "")
-		m.e.Mem.WaitTarget(need)
+		// Cancellation interrupts the suspension wait: a canceled sort must
+		// not sleep until the budget happens to be restored.
+		if err := m.e.waitTarget(need); err != nil {
+			return err
+		}
 		m.e.Mem.Acquire(need - m.e.Mem.Granted())
 		m.e.emit(EvResume, need, "")
 		// Resume: refetch all input buffers together (one elevator sweep).
@@ -264,6 +311,8 @@ func (m *mergeEngine) batchLoad(st *mergeStep) error {
 func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
 	out, err := m.newOutRun()
 	if err != nil {
+		freeRuns(m.e, runs)
+		m.e.yieldAll()
 		return nil, err
 	}
 	root := &mergeStep{inputs: append([]*runInfo(nil), runs...), out: out}
@@ -271,17 +320,26 @@ func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
 	m.active = root
 	defer func() { m.active = nil }()
 	for {
+		// Output-page boundary: cancellation is observed here. The whole
+		// step chain (splits in progress included) is released on abort.
+		if err := m.e.ctxErr(); err != nil {
+			m.releaseStep(m.active)
+			return nil, err
+		}
 		if err := m.adaptDynamic(); err != nil {
+			m.releaseStep(m.active)
 			return nil, err
 		}
 		st := m.active
 		res, err := m.produceOnePage(st)
 		if err != nil {
+			m.releaseStep(m.active)
 			return nil, err
 		}
 		switch res {
 		case stepDone:
 			if err := m.finishStep(st); err != nil {
+				m.releaseStep(m.active)
 				return nil, err
 			}
 			if st.parent == nil {
@@ -290,13 +348,18 @@ func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
 			m.active = st.parent
 		case drainEmpty:
 			if err := m.absorb(st); err != nil {
+				m.releaseStep(m.active)
 				return nil, err
 			}
 		case needAdapt:
 			if err := m.adaptDynamic(); err != nil {
+				m.releaseStep(m.active)
 				return nil, err
 			}
-			m.ensureProgress(m.active)
+			if err := m.ensureProgress(m.active); err != nil {
+				m.releaseStep(m.active)
+				return nil, err
+			}
 		}
 	}
 }
@@ -416,23 +479,24 @@ func (m *mergeEngine) heldPages(st *mergeStep) int {
 // still could not obtain a buffer. With a single-operator pool this cannot
 // happen (entitlement implies availability); with a shared pool the
 // operator may be entitled to another page while a sibling still holds it,
-// so we park until the pool changes instead of spinning.
-func (m *mergeEngine) ensureProgress(st *mergeStep) {
+// so we park until the pool changes instead of spinning. The park is
+// interrupted by cancellation, whose error is returned.
+func (m *mergeEngine) ensureProgress(st *mergeStep) error {
 	if st == nil {
-		return
+		return nil
 	}
 	held := m.heldPages(st)
 	g := m.e.Mem.Granted()
 	if g > held {
-		return // an unpinned page is already granted; retry will use it
+		return nil // an unpinned page is already granted; retry will use it
 	}
 	if m.e.Mem.Target() <= held {
-		return // not entitled to more: the adaptation strategy handles it
+		return nil // not entitled to more: the adaptation strategy handles it
 	}
 	if m.e.Mem.Acquire(held+1-g) > 0 {
-		return
+		return nil
 	}
-	m.e.Mem.WaitChange()
+	return m.e.waitChange()
 }
 
 // shedReadAhead drops up to n tail read-ahead pages (never a run's current

@@ -23,6 +23,18 @@ func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
 	}
 	st := &SortStats{}
 	t0 := e.now()
+	// The inputs are consumed even on abort: a canceled merge frees them
+	// so nothing leaks (the engine owns them from the moment of the call).
+	// Checked before the arity switch so the 0- and 1-run fast paths honor
+	// cancellation like every other operator entry.
+	if err := e.ctxErr(); err != nil {
+		runs := make([]*runInfo, len(ids))
+		for i, id := range ids {
+			runs[i] = &runInfo{id: id}
+		}
+		freeRuns(e, runs)
+		return nil, err
+	}
 	e.setPhase("merge")
 	var result *runInfo
 	switch len(ids) {
@@ -70,8 +82,15 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 	st := &SortStats{}
 	t0 := e.now()
 
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	runs, err := splitPhase(e, cfg, st)
 	if err != nil {
+		// splitPhase returns the runs produced before the error so an
+		// aborted sort leaves no storage behind.
+		freeRuns(e, runs)
+		e.yieldAll()
 		return nil, err
 	}
 	st.SplitDuration = e.now() - t0
@@ -93,6 +112,8 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 		m := &mergeEngine{e: e, cfg: cfg, st: st}
 		result, err = m.mergeRuns(runs)
 		if err != nil {
+			// The merge engine frees its runs on abort.
+			e.yieldAll()
 			return nil, err
 		}
 	}

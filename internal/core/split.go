@@ -6,7 +6,9 @@ import (
 )
 
 // splitPhase runs the configured in-memory sorting method over e.In and
-// produces the initial set of sorted runs (paper §2.1, §3.1).
+// produces the initial set of sorted runs (paper §2.1, §3.1). On error the
+// runs produced so far are returned alongside it, so the caller can free
+// them — cancellation must not leak run storage.
 func splitPhase(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 	e.setPhase("split")
 	if cfg.Method == Quick {
@@ -39,9 +41,11 @@ func writeRun(e *Env, recs []Record, pageRecords int) (*runInfo, error) {
 	}
 	tok, err := e.Store.Append(id, pages)
 	if err != nil {
+		_ = e.Store.Free(id)
 		return nil, err
 	}
 	if err := tok.Wait(); err != nil {
+		_ = e.Store.Free(id)
 		return nil, err
 	}
 	return &runInfo{id: id, pages: len(pages), tuples: countRecs(pages)}, nil
@@ -59,6 +63,10 @@ func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		var mem []Page
 		tuples := 0
 		for {
+			// Page-granular adaptation point: cancellation is observed here.
+			if err := e.ctxErr(); err != nil {
+				return runs, err
+			}
 			// Exploit extra memory immediately while filling (paper §3.1).
 			if g := e.Mem.Target() - e.Mem.Granted(); g > 0 {
 				e.Mem.Acquire(g)
@@ -66,7 +74,9 @@ func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 			if e.Mem.Granted() == 0 {
 				// Entitled but the (shared) pool is empty: wait rather than
 				// spin. A single-operator pool never reaches this state.
-				e.Mem.WaitChange()
+				if err := e.waitChange(); err != nil {
+					return runs, err
+				}
 				continue
 			}
 			if p := e.Mem.Pressure(); p > 0 {
@@ -82,7 +92,7 @@ func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 			}
 			pg, ok, err := e.In.NextPage()
 			if err != nil {
-				return nil, err
+				return runs, err
 			}
 			if !ok {
 				inputDone = true
@@ -110,7 +120,7 @@ func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		e.charge(OpCopyTuple, int64(tuples))
 		ri, err := writeRun(e, recs, cfg.PageRecords)
 		if err != nil {
-			return nil, err
+			return runs, err
 		}
 		runs = append(runs, ri)
 		st.Runs++
@@ -145,6 +155,21 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		inputDone bool
 	)
 	heapPages := func() int { return PagesForTuples(h.Len(), R) }
+	// fail abandons the split: the in-flight block write is awaited (its
+	// buffers are owned by the store once Append returns, but the run must
+	// be quiescent before the caller frees it) and every run produced so
+	// far — including the open one — is handed back for cleanup.
+	fail := func(err error) ([]*runInfo, error) {
+		if outTok != nil {
+			_ = outTok.Wait()
+			outTok = nil
+		}
+		if cur != nil {
+			runs = append(runs, cur)
+			cur = nil
+		}
+		return runs, err
+	}
 	// The heap may occupy all granted pages; extraction of an N-page block
 	// transiently frees N pages that refill from the input. This matches
 	// the paper's accounting (average run length ≈ 2M − N pages; at N = M
@@ -226,12 +251,18 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 	}
 
 	for {
+		// Page-granular adaptation point: cancellation is observed here.
+		if err := e.ctxErr(); err != nil {
+			return fail(err)
+		}
 		if g := e.Mem.Target() - e.Mem.Granted(); g > 0 {
 			e.Mem.Acquire(g)
 		}
 		if e.Mem.Granted() == 0 && !(inputDone && h.Len() == 0) {
 			// Entitled but the (shared) pool is empty: wait rather than spin.
-			e.Mem.WaitChange()
+			if err := e.waitChange(); err != nil {
+				return fail(err)
+			}
 			continue
 		}
 		if g := e.Mem.Granted(); g > st.MaxGranted {
@@ -250,16 +281,16 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 				}
 				ended, err := emitBlock(p - slack)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				if ended {
 					if err := closeRun(); err != nil {
-						return nil, err
+						return fail(err)
 					}
 				}
 			}
 			if err := waitOut(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			y := min(p, e.Mem.Granted())
 			e.Mem.Yield(y)
@@ -268,7 +299,7 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		if !inputDone && heapPages() < capPages() {
 			pg, ok, err := e.In.NextPage()
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if !ok {
 				inputDone = true
@@ -291,20 +322,20 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 			if inputDone {
 				break
 			}
-			return nil, errors.New("core: replacement selection stuck with empty heap")
+			return fail(errors.New("core: replacement selection stuck with empty heap"))
 		}
 		ended, err := emitBlock(effBlock())
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if ended {
 			if err := closeRun(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 	if err := waitOut(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if cur != nil {
 		runs = append(runs, cur)

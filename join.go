@@ -1,78 +1,42 @@
 package masort
 
 import (
-	"time"
+	"context"
 
 	"github.com/memadapt/masort/internal/core"
 )
-
-// JoinResult is a finished sort-merge join: a handle to the run of joined
-// records. Each output record carries the join key and the concatenation of
-// the left and right payloads.
-type JoinResult struct {
-	store    RunStore
-	run      RunID
-	Pages    int
-	Tuples   int
-	Stats    JoinStats
-	Counters Counters
-	freed    bool
-}
-
-// Iterator streams the joined records (sorted by key).
-func (r *JoinResult) Iterator() Iterator {
-	return &runIterator{store: r.store, id: r.run, pages: r.Pages}
-}
-
-// Free releases the result run's storage.
-func (r *JoinResult) Free() error {
-	if r.freed {
-		return errFreed
-	}
-	r.freed = true
-	return r.store.Free(r.run)
-}
-
-var errFreed = errorString("masort: result already freed")
-
-type errorString string
-
-func (e errorString) Error() string { return string(e) }
 
 // Join equi-joins two inputs on Record.Key using the paper's memory-adaptive
 // sort-merge join: both inputs are split into sorted runs, then merged
 // concurrently while joining, with preliminary merge steps on whichever
 // relation the paper's cost rule selects. The budget may be resized while
-// the join runs, exactly as for Sort.
-func Join(left, right Iterator, opt Options) (*JoinResult, error) {
-	cfg, o, err := opt.build()
+// the join runs, exactly as for Sort. Each output record carries the join
+// key and the concatenation of the left and right payloads.
+//
+// The result's Join field holds the join-specific statistics. Cancellation
+// behaves as for Sort: the join aborts at its next adaptation point,
+// freeing every run of both relations.
+func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, error) {
+	cfg, o, err := applyOptions(opts).build()
 	if err != nil {
 		return nil, err
 	}
 	meter := &counterMeter{}
-	start := time.Now()
-	env := &core.Env{
-		Store:   o.Store,
-		Mem:     o.Budget,
-		Meter:   meter,
-		Now:     func() time.Duration { return time.Since(start) },
-		OnEvent: o.OnEvent,
-	}
+	env := newEnv(ctx, o, meter)
 	res, err := core.SortMergeJoin(env,
 		&pageInput{it: left, size: o.PageRecords},
 		&pageInput{it: right, size: o.PageRecords}, cfg)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(env.Ctx, err)
 	}
-	return &JoinResult{
-		store:  o.Store,
-		run:    res.Result,
-		Pages:  res.Pages,
-		Tuples: res.Tuples,
-		Stats:  res.Stats,
-		Counters: Counters{
-			Compares:   meter.compares.Load(),
-			TupleMoves: meter.moves.Load(),
-		},
+	js := res.Stats
+	return &Result{
+		store:    o.Store,
+		run:      res.Result,
+		Pages:    res.Pages,
+		Tuples:   res.Tuples,
+		Stats:    js.SortStats,
+		Join:     &js,
+		Counters: meter.counters(),
 	}, nil
 }

@@ -1,7 +1,7 @@
 package masort
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -48,9 +48,12 @@ const (
 	Suspension
 )
 
-// Options configures Sort and Join. The zero value gives the paper's
-// recommended algorithm (repl6,opt,split) with an in-memory store and a
-// fixed 64-page budget.
+// Options configures Sort, Join, GroupBy and Merge as a plain struct. The
+// zero value gives the paper's recommended algorithm (repl6,opt,split) with
+// an in-memory store and a fixed 64-page budget.
+//
+// Deprecated: prefer the functional options (WithBudget, WithMethod, ...);
+// pass an existing struct through WithOptions.
 type Options struct {
 	Method     Method
 	BlockPages int // replacement-selection write block; default 6
@@ -131,6 +134,23 @@ func (o Options) build() (core.SortConfig, Options, error) {
 	return cfg, o, nil
 }
 
+// newEnv assembles the core execution environment shared by every operator
+// entry point. A nil ctx is treated as context.Background().
+func newEnv(ctx context.Context, o Options, meter *counterMeter) *core.Env {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	return &core.Env{
+		Ctx:     ctx,
+		Store:   o.Store,
+		Mem:     o.Budget,
+		Meter:   meter,
+		Now:     func() time.Duration { return time.Since(start) },
+		OnEvent: o.OnEvent,
+	}
+}
+
 // Stats reports what a sort or join did.
 type Stats = core.SortStats
 
@@ -157,73 +177,53 @@ func (m *counterMeter) Charge(op core.Op, n int64) {
 	}
 }
 
-// Result is a finished sort: a handle to the sorted run.
-type Result struct {
-	store    RunStore
-	run      RunID
-	Pages    int
-	Tuples   int
-	Stats    Stats
-	Counters Counters
-	freed    bool
-}
-
-// Iterator streams the sorted records.
-func (r *Result) Iterator() Iterator {
-	return &runIterator{store: r.store, id: r.run, pages: r.Pages}
-}
-
-// Free releases the result run's storage. The Result must not be iterated
-// afterwards.
-func (r *Result) Free() error {
-	if r.freed {
-		return errors.New("masort: result already freed")
+func (m *counterMeter) counters() Counters {
+	return Counters{
+		Compares:   m.compares.Load(),
+		TupleMoves: m.moves.Load(),
 	}
-	r.freed = true
-	return r.store.Free(r.run)
 }
 
 // Sort externally sorts the input under the configured memory budget and
 // returns a handle to the sorted run.
-func Sort(input Iterator, opt Options) (*Result, error) {
+//
+// Canceling ctx aborts the sort at its next adaptation point — split-phase
+// page boundaries, merge output-page and step boundaries, and suspension
+// waits — freeing every run it created; the returned error then matches
+// both ErrCanceled and the context's own error.
+func Sort(ctx context.Context, input Iterator, opts ...Option) (*Result, error) {
+	return sortWith(ctx, input, applyOptions(opts))
+}
+
+func sortWith(ctx context.Context, input Iterator, opt Options) (*Result, error) {
 	cfg, o, err := opt.build()
 	if err != nil {
 		return nil, err
 	}
 	meter := &counterMeter{}
-	start := time.Now()
-	env := &core.Env{
-		In:      &pageInput{it: input, size: o.PageRecords},
-		Store:   o.Store,
-		Mem:     o.Budget,
-		Meter:   meter,
-		Now:     func() time.Duration { return time.Since(start) },
-		OnEvent: o.OnEvent,
-	}
+	env := newEnv(ctx, o, meter)
+	env.In = &pageInput{it: input, size: o.PageRecords}
 	res, err := core.ExternalSort(env, cfg)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(env.Ctx, err)
 	}
 	return &Result{
-		store:  o.Store,
-		run:    res.Result,
-		Pages:  res.Pages,
-		Tuples: res.Tuples,
-		Stats:  res.Stats,
-		Counters: Counters{
-			Compares:   meter.compares.Load(),
-			TupleMoves: meter.moves.Load(),
-		},
+		store:    o.Store,
+		run:      res.Result,
+		Pages:    res.Pages,
+		Tuples:   res.Tuples,
+		Stats:    res.Stats,
+		Counters: meter.counters(),
 	}, nil
 }
 
 // SortSlice sorts records in external fashion and returns the sorted slice —
 // a convenience wrapper around Sort for small inputs and tests.
-func SortSlice(recs []Record, opt Options) ([]Record, error) {
-	res, err := Sort(NewSliceIterator(recs), opt)
+func SortSlice(ctx context.Context, recs []Record, opts ...Option) ([]Record, error) {
+	res, err := Sort(ctx, NewSliceIterator(recs), opts...)
 	if err != nil {
 		return nil, err
 	}
-	defer res.Free()
+	defer res.Close()
 	return Drain(res.Iterator())
 }

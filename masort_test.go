@@ -1,6 +1,7 @@
 package masort
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -56,7 +57,7 @@ func assertPermutation(t *testing.T, in, out []Record) {
 
 func TestSortDefaults(t *testing.T) {
 	in := randomRecords(50_000, 1, 0)
-	out, err := SortSlice(in, Options{PageRecords: 64, Budget: NewBudget(16)})
+	out, err := SortSlice(t.Context(), in, WithPageRecords(64), WithBudget(NewBudget(16)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +73,12 @@ func TestSortAllOptionCombinations(t *testing.T) {
 				name := fmt.Sprintf("m%d-s%d-a%d", m, ms, ad)
 				t.Run(name, func(t *testing.T) {
 					store := NewMemStore()
-					out, err := SortSlice(in, Options{
+					// The struct shim: a whole Options value through one
+					// functional option.
+					out, err := SortSlice(t.Context(), in, WithOptions(Options{
 						Method: m, Merge: ms, Adaptation: ad,
 						PageRecords: 32, Budget: NewBudget(8), Store: store,
-					})
+					}))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -91,11 +94,11 @@ func TestSortAllOptionCombinations(t *testing.T) {
 }
 
 func TestSortEmptyAndTiny(t *testing.T) {
-	out, err := SortSlice(nil, Options{})
+	out, err := SortSlice(t.Context(), nil)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty: %v %d", err, len(out))
 	}
-	out, err = SortSlice([]Record{{Key: 2}, {Key: 1}}, Options{})
+	out, err = SortSlice(t.Context(), []Record{{Key: 2}, {Key: 1}})
 	if err != nil || len(out) != 2 || out[0].Key != 1 {
 		t.Fatalf("tiny: %v %v", err, out)
 	}
@@ -107,7 +110,7 @@ func TestSortPayloadsPreserved(t *testing.T) {
 		{Key: 1, Payload: []byte("one")},
 		{Key: 2, Payload: []byte("two")},
 	}
-	out, err := SortSlice(in, Options{})
+	out, err := SortSlice(t.Context(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +121,11 @@ func TestSortPayloadsPreserved(t *testing.T) {
 
 func TestSortStatsPopulated(t *testing.T) {
 	in := randomRecords(20_000, 3, 0)
-	res, err := Sort(NewSliceIterator(in), Options{PageRecords: 64, Budget: NewBudget(10)})
+	res, err := Sort(t.Context(), NewSliceIterator(in), WithPageRecords(64), WithBudget(NewBudget(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	if res.Stats.Runs < 2 || res.Stats.MergeSteps < 1 {
 		t.Fatalf("stats: %+v", res.Stats)
 	}
@@ -135,15 +138,20 @@ func TestSortStatsPopulated(t *testing.T) {
 }
 
 func TestResultDoubleFree(t *testing.T) {
-	res, err := Sort(NewSliceIterator(randomRecords(100, 4, 0)), Options{})
+	res, err := Sort(t.Context(), NewSliceIterator(randomRecords(100, 4, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := res.Free(); err != nil {
+	if err := res.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := res.Free(); err == nil {
-		t.Fatal("double free must error")
+	if err := res.Close(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double close = %v, want ErrFreed", err)
+	}
+	// A closed result must not touch freed storage: iteration reports
+	// ErrFreed instead.
+	if _, _, err := res.Iterator().Next(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("iterate after close = %v, want ErrFreed", err)
 	}
 }
 
@@ -172,9 +180,8 @@ func TestSortUnderConcurrentBudgetChanges(t *testing.T) {
 					time.Sleep(200 * time.Microsecond)
 				}
 			}()
-			out, err := SortSlice(in, Options{
-				Adaptation: ad, PageRecords: 64, Budget: budget,
-			})
+			out, err := SortSlice(t.Context(), in,
+				WithAdaptation(ad), WithPageRecords(64), WithBudget(budget))
 			close(stop)
 			wg.Wait()
 			if err != nil {
@@ -193,9 +200,8 @@ func TestSortWithFileStore(t *testing.T) {
 	}
 	defer store.Close()
 	in := randomRecords(30_000, 6, 16)
-	out, err := SortSlice(in, Options{
-		PageRecords: 64, Budget: NewBudget(12), Store: store,
-	})
+	out, err := SortSlice(t.Context(), in,
+		WithPageRecords(64), WithBudget(NewBudget(12)), WithStore(store))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,14 +318,34 @@ func TestBudgetSemantics(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	if _, err := SortSlice(nil, Options{Method: Method(9)}); err == nil {
+	if _, err := SortSlice(t.Context(), nil, WithMethod(Method(9))); err == nil {
 		t.Fatal("bad method must fail")
 	}
-	if _, err := SortSlice(nil, Options{Merge: MergeStrategy(9)}); err == nil {
+	if _, err := SortSlice(t.Context(), nil, WithMergeStrategy(MergeStrategy(9))); err == nil {
 		t.Fatal("bad merge must fail")
 	}
-	if _, err := SortSlice(nil, Options{Adaptation: Adaptation(9)}); err == nil {
+	if _, err := SortSlice(t.Context(), nil, WithAdaptation(Adaptation(9))); err == nil {
 		t.Fatal("bad adaptation must fail")
+	}
+	if _, err := SortSlice(t.Context(), nil, WithOptions(Options{Method: Method(9)})); err == nil {
+		t.Fatal("bad method through the struct shim must fail")
+	}
+}
+
+// TestOptionComposition checks the functional-option contract: options
+// compose left to right, later ones override earlier ones, and WithOptions
+// resets the accumulated configuration.
+func TestOptionComposition(t *testing.T) {
+	o := applyOptions([]Option{
+		WithMethod(Quicksort),
+		WithPageRecords(8),
+		WithOptions(Options{PageRecords: 16}), // resets Method too
+		WithBlockPages(2),
+		WithBlockPages(3), // later wins
+		nil,               // nil options are ignored
+	})
+	if o.Method != ReplacementSelection || o.PageRecords != 16 || o.BlockPages != 3 {
+		t.Fatalf("composed options = %+v", o)
 	}
 }
 
@@ -341,13 +367,12 @@ func TestJoinPublicAPI(t *testing.T) {
 	for _, x := range l {
 		want += counts[x.Key]
 	}
-	res, err := Join(NewSliceIterator(l), NewSliceIterator(r), Options{
-		PageRecords: 32, Budget: NewBudget(10),
-	})
+	res, err := Join(t.Context(), NewSliceIterator(l), NewSliceIterator(r),
+		WithPageRecords(32), WithBudget(NewBudget(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, err := Drain(res.Iterator())
 	if err != nil {
 		t.Fatal(err)
@@ -365,8 +390,11 @@ func TestJoinPublicAPI(t *testing.T) {
 			t.Fatalf("payload concat broken: %q", rec.Payload)
 		}
 	}
-	if res.Stats.LeftRuns < 2 {
-		t.Fatalf("stats: %+v", res.Stats)
+	if res.Join == nil || res.Join.LeftRuns < 2 {
+		t.Fatalf("join stats: %+v", res.Join)
+	}
+	if res.Join.ResultTuples != want {
+		t.Fatalf("ResultTuples = %d, want %d", res.Join.ResultTuples, want)
 	}
 }
 
@@ -378,10 +406,9 @@ func TestPropertyPublicSort(t *testing.T) {
 		for i, k := range keys {
 			recs[i] = Record{Key: k}
 		}
-		out, err := SortSlice(recs, Options{
-			PageRecords: int(prec)%64 + 1,
-			Budget:      NewBudget(int(budget)%32 + 3),
-		})
+		out, err := SortSlice(t.Context(), recs,
+			WithPageRecords(int(prec)%64+1),
+			WithBudget(NewBudget(int(budget)%32+3)))
 		if err != nil {
 			t.Log(err)
 			return false

@@ -1,8 +1,8 @@
 package masort
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"github.com/memadapt/masort/internal/core"
 )
@@ -74,36 +74,33 @@ func WriteRun(store RunStore, it Iterator, pageRecords int) (RunID, int, error) 
 // compaction runs).
 //
 // The input runs are CONSUMED: Merge frees them from the store as they are
-// retired. With zero inputs an empty result is returned; with one input
-// that run becomes the result unchanged.
-func Merge(store RunStore, ids []RunID, opt Options) (*Result, error) {
+// retired, and a canceled merge frees the not-yet-retired ones too. With
+// zero inputs an empty result is returned; with one input that run becomes
+// the result unchanged — without rescanning it, so that result's Tuples is
+// 0 (Pages is exact; WriteRun reports the tuple count at write time).
+//
+// The store argument is authoritative — the ids name runs inside it — so a
+// WithStore option (or the Store field of a struct passed via WithOptions)
+// is ignored here.
+func Merge(ctx context.Context, store RunStore, ids []RunID, opts ...Option) (*Result, error) {
+	opt := applyOptions(opts)
 	opt.Store = store
 	cfg, o, err := opt.build()
 	if err != nil {
 		return nil, err
 	}
 	meter := &counterMeter{}
-	start := time.Now()
-	env := &core.Env{
-		Store:   o.Store,
-		Mem:     o.Budget,
-		Meter:   meter,
-		Now:     func() time.Duration { return time.Since(start) },
-		OnEvent: o.OnEvent,
-	}
+	env := newEnv(ctx, o, meter)
 	res, err := core.MergeExisting(env, cfg, ids)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(env.Ctx, err)
 	}
 	return &Result{
-		store:  o.Store,
-		run:    res.Result,
-		Pages:  res.Pages,
-		Tuples: res.Tuples,
-		Stats:  res.Stats,
-		Counters: Counters{
-			Compares:   meter.compares.Load(),
-			TupleMoves: meter.moves.Load(),
-		},
+		store:    o.Store,
+		run:      res.Result,
+		Pages:    res.Pages,
+		Tuples:   res.Tuples,
+		Stats:    res.Stats,
+		Counters: meter.counters(),
 	}, nil
 }

@@ -47,7 +47,7 @@ func TestMergeExistingRuns(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	res, err := Merge(store, ids, Options{PageRecords: 32, Budget: NewBudget(5)})
+	res, err := Merge(t.Context(), store, ids, WithPageRecords(32), WithBudget(NewBudget(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestMergeExistingRuns(t *testing.T) {
 	if res.Stats.MergeSteps < 2 {
 		t.Fatalf("5-page budget must force preliminary steps, got %d", res.Stats.MergeSteps)
 	}
-	if err := res.Free(); err != nil {
+	if err := res.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if store.Live() != 0 {
@@ -74,7 +74,7 @@ func TestMergeSingleAndZeroRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Merge(store, []RunID{id}, Options{})
+	res, err := Merge(t.Context(), store, []RunID{id})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestMergeSingleAndZeroRuns(t *testing.T) {
 	if len(out) != 50 {
 		t.Fatalf("single-run merge: %d records", len(out))
 	}
-	res0, err := Merge(store, nil, Options{})
+	res0, err := Merge(t.Context(), store, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestMergeUnderBudgetChanges(t *testing.T) {
 			}
 		}
 	}()
-	res, err := Merge(store, ids, Options{PageRecords: 16, Budget: budget})
+	res, err := Merge(t.Context(), store, ids, WithPageRecords(16), WithBudget(budget))
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -151,13 +151,12 @@ func TestGroupByCount(t *testing.T) {
 		recs = append(recs, Record{Key: k})
 		want[k]++
 	}
-	res, err := GroupBy(NewSliceIterator(recs), &CountAggregator{}, Options{
-		PageRecords: 64, Budget: NewBudget(8),
-	})
+	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &CountAggregator{},
+		WithPageRecords(64), WithBudget(NewBudget(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, err := Drain(res.Iterator())
 	if err != nil {
 		t.Fatal(err)
@@ -183,11 +182,11 @@ func TestGroupByDistinct(t *testing.T) {
 		{Key: 2, Payload: []byte("b2")},
 		{Key: 1, Payload: []byte("a2")},
 	}
-	res, err := GroupBy(NewSliceIterator(recs), &FirstAggregator{}, Options{})
+	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &FirstAggregator{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, _ := Drain(res.Iterator())
 	if len(out) != 2 || out[0].Key != 1 || out[1].Key != 2 {
 		t.Fatalf("distinct failed: %+v", out)
@@ -210,11 +209,11 @@ func TestGroupByFuncSum(t *testing.T) {
 		OnAdd:    func(r Record) { sum += int(r.Payload[0]) },
 		OnFinish: func(Key) []byte { return []byte(fmt.Sprintf("%d", sum)) },
 	}
-	res, err := GroupBy(NewSliceIterator(recs), agg, Options{})
+	res, err := GroupBy(t.Context(), NewSliceIterator(recs), agg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, _ := Drain(res.Iterator())
 	if len(out) != 2 || string(out[0].Payload) != "7" || string(out[1].Payload) != "5" {
 		t.Fatalf("sums = %+v", out)
@@ -222,11 +221,11 @@ func TestGroupByFuncSum(t *testing.T) {
 }
 
 func TestGroupByEmpty(t *testing.T) {
-	res, err := GroupBy(NewSliceIterator(nil), &CountAggregator{}, Options{})
+	res, err := GroupBy(t.Context(), NewSliceIterator(nil), &CountAggregator{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, _ := Drain(res.Iterator())
 	if len(out) != 0 {
 		t.Fatal("empty input must yield no groups")
@@ -256,14 +255,13 @@ func TestGroupByUnderBudgetChanges(t *testing.T) {
 			}
 		}
 	}()
-	res, err := GroupBy(NewSliceIterator(recs), &CountAggregator{}, Options{
-		PageRecords: 64, Budget: budget,
-	})
+	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &CountAggregator{},
+		WithPageRecords(64), WithBudget(budget))
 	close(stop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Free()
+	defer res.Close()
 	out, _ := Drain(res.Iterator())
 	if len(out) != len(want) {
 		t.Fatalf("groups = %d, want %d", len(out), len(want))

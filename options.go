@@ -1,0 +1,76 @@
+package masort
+
+// Option configures Sort, Join, GroupBy and Merge. Options compose left to
+// right; later options override earlier ones.
+type Option func(*Options)
+
+// WithMethod selects the split-phase in-memory sorting method.
+func WithMethod(m Method) Option {
+	return func(o *Options) { o.Method = m }
+}
+
+// WithBlockPages sets the replacement-selection write block in pages
+// (default 6 — the paper's repl6).
+func WithBlockPages(n int) Option {
+	return func(o *Options) { o.BlockPages = n }
+}
+
+// WithMergeStrategy selects the preliminary-merge fan-in policy.
+func WithMergeStrategy(s MergeStrategy) Option {
+	return func(o *Options) { o.Merge = s }
+}
+
+// WithAdaptation selects the merge-phase reaction to budget changes.
+func WithAdaptation(a Adaptation) Option {
+	return func(o *Options) { o.Adaptation = a }
+}
+
+// WithPageRecords sets records per page — the granularity of both I/O and
+// memory accounting (default 256).
+func WithPageRecords(n int) Option {
+	return func(o *Options) { o.PageRecords = n }
+}
+
+// WithBudget sets the adjustable memory contract the operator runs under.
+// The same *Budget may be shared by several operators (a query plan) and
+// resized from any goroutine while they run.
+func WithBudget(b *Budget) Option {
+	return func(o *Options) { o.Budget = b }
+}
+
+// WithStore sets the run store (default NewMemStore; use NewFileStore for
+// datasets larger than memory).
+func WithStore(s RunStore) Option {
+	return func(o *Options) { o.Store = s }
+}
+
+// WithAdaptiveBlockIO spends budget beyond a merge step's requirement on
+// multi-page read-ahead (the paper's §7 future-work extension).
+func WithAdaptiveBlockIO(on bool) Option {
+	return func(o *Options) { o.AdaptiveBlockIO = on }
+}
+
+// WithEvents installs a callback receiving adaptation events (phase
+// changes, step splits, combines, suspensions) as they happen. The callback
+// runs on the operator's goroutine and must be fast.
+func WithEvents(fn func(Event)) Option {
+	return func(o *Options) { o.OnEvent = fn }
+}
+
+// WithOptions replaces the whole configuration with a legacy Options
+// struct. It is the bridge from the v1 struct surface: options applied
+// before it are discarded, options after it override its fields.
+func WithOptions(opt Options) Option {
+	return func(o *Options) { *o = opt }
+}
+
+// applyOptions folds a chain of Options into the configuration struct.
+func applyOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}

@@ -1,0 +1,73 @@
+package masort
+
+import "iter"
+
+// Result is the outcome of a finished Sort, Join, GroupBy or Merge: a
+// handle to the stored run of output records plus execution statistics. It
+// implements io.Closer; Close releases the run's storage, after which the
+// result must not be iterated.
+type Result struct {
+	store RunStore
+	run   RunID
+
+	// Pages and Tuples size the output run.
+	Pages  int
+	Tuples int
+
+	// Stats reports what the operator did (runs, merge steps, splits,
+	// combines, suspensions, phase durations, ...).
+	Stats Stats
+
+	// Join carries join-specific statistics (per-relation run counts,
+	// result tuples); nil for results of Sort, GroupBy and Merge.
+	Join *JoinStats
+
+	// Counters tallies CPU-relevant operations.
+	Counters Counters
+
+	freed bool
+}
+
+// JoinResult is the former join-specific result type; Join now returns the
+// unified *Result.
+//
+// Deprecated: use Result.
+type JoinResult = Result
+
+// Iterator streams the output records in sorted order. A closed result
+// yields ErrFreed.
+func (r *Result) Iterator() Iterator {
+	if r.freed {
+		return FuncIterator(func() (Record, bool, error) {
+			return Record{}, false, ErrFreed
+		})
+	}
+	return &runIterator{store: r.store, id: r.run, pages: r.Pages}
+}
+
+// All returns the output records as a range-over-func sequence:
+//
+//	for rec, err := range res.All() {
+//		if err != nil { ... }
+//		...
+//	}
+//
+// The sequence yields at most one non-nil error, as its final pair.
+func (r *Result) All() iter.Seq2[Record, error] {
+	return All(r.Iterator())
+}
+
+// Close releases the result run's storage. The Result must not be iterated
+// afterwards; a second Close returns ErrFreed.
+func (r *Result) Close() error {
+	if r.freed {
+		return ErrFreed
+	}
+	r.freed = true
+	return r.store.Free(r.run)
+}
+
+// Free releases the result run's storage.
+//
+// Deprecated: use Close.
+func (r *Result) Free() error { return r.Close() }

@@ -1,0 +1,216 @@
+package masort
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// order is the custom record type the typed facade is exercised with.
+type order struct {
+	ID       uint64
+	Customer string
+	Amount   int32
+}
+
+// orderCodec encodes an order's payload as len-prefixed customer + amount.
+var orderCodec = FuncCodec[order]{
+	KeyFunc: func(o order) Key { return o.ID },
+	EncodeFunc: func(dst []byte, o order) []byte {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(o.Customer)))
+		dst = append(dst, o.Customer...)
+		return binary.BigEndian.AppendUint32(dst, uint32(o.Amount))
+	},
+	DecodeFunc: func(key Key, payload []byte) (order, error) {
+		if len(payload) < 8 {
+			return order{}, fmt.Errorf("short payload: %d bytes", len(payload))
+		}
+		n := binary.BigEndian.Uint32(payload)
+		if len(payload) != int(8+n) {
+			return order{}, fmt.Errorf("corrupt payload: %d bytes, customer %d", len(payload), n)
+		}
+		return order{
+			ID:       key,
+			Customer: string(payload[4 : 4+n]),
+			Amount:   int32(binary.BigEndian.Uint32(payload[4+n:])),
+		}, nil
+	},
+}
+
+// TestSortSliceTRoundTrip pushes a custom struct type through the adaptive
+// engine with a budget small enough to force real external runs and merge
+// steps, and checks every field survives the trip.
+func TestSortSliceTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 0))
+	in := make([]order, 30_000)
+	for i := range in {
+		in[i] = order{
+			ID:       rng.Uint64() % 100_000,
+			Customer: fmt.Sprintf("cust-%05d", rng.IntN(10_000)),
+			Amount:   int32(rng.IntN(1_000_000) - 500_000),
+		}
+	}
+	store := NewMemStore()
+	out, err := SortSliceT(t.Context(), in, orderCodec,
+		WithPageRecords(64), WithBudget(NewBudget(8)), WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].ID < out[i-1].ID {
+			t.Fatalf("unsorted at %d: %d < %d", i, out[i].ID, out[i-1].ID)
+		}
+	}
+	// Same multiset: compare against an in-memory reference sort.
+	want := slices.Clone(in)
+	slices.SortFunc(want, func(a, b order) int {
+		if a.ID != b.ID {
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		// Equal keys order by encoded payload bytes; re-derive that order.
+		return slices.Compare(orderCodec.Encode(nil, a), orderCodec.Encode(nil, b))
+	})
+	if !slices.Equal(out, want) {
+		t.Fatal("typed round trip lost or scrambled records")
+	}
+	if store.Live() != 0 {
+		t.Fatalf("leaked %d runs", store.Live())
+	}
+}
+
+// TestSortTStreaming exercises the streaming entry point and TypedResult:
+// values arrive from a seq, come back decoded through All.
+func TestSortTStreaming(t *testing.T) {
+	input := func(yield func(order, error) bool) {
+		for i := 1000; i > 0; i-- {
+			if !yield(order{ID: uint64(i), Customer: "c", Amount: int32(i)}, nil) {
+				return
+			}
+		}
+	}
+	res, err := SortT(t.Context(), input, orderCodec,
+		WithPageRecords(32), WithBudget(NewBudget(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Tuples != 1000 {
+		t.Fatalf("tuples = %d", res.Tuples)
+	}
+	next := uint64(1)
+	for v, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ID != next || v.Amount != int32(next) {
+			t.Fatalf("got %+v, want ID %d", v, next)
+		}
+		next++
+	}
+	if next != 1001 {
+		t.Fatalf("iterated %d values", next-1)
+	}
+}
+
+// TestSortTInputError checks a failing input sequence aborts the sort with
+// that error and leaks nothing.
+func TestSortTInputError(t *testing.T) {
+	boom := errors.New("boom")
+	input := func(yield func(order, error) bool) {
+		for i := 0; i < 5000; i++ {
+			if !yield(order{ID: uint64(i)}, nil) {
+				return
+			}
+		}
+		yield(order{}, boom)
+	}
+	store := NewMemStore()
+	_, err := SortT(t.Context(), input, orderCodec,
+		WithPageRecords(32), WithBudget(NewBudget(4)), WithStore(store))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if store.Live() != 0 {
+		t.Fatalf("leaked %d runs", store.Live())
+	}
+}
+
+// TestSortTBadOption checks the error path that fails before any input is
+// consumed (build-time option validation): no panic, and the pull
+// coroutine holding the input is released (observable only as the absence
+// of a goroutine leak; the stop call is exercised here).
+func TestSortTBadOption(t *testing.T) {
+	input := func(yield func(order, error) bool) {
+		yield(order{ID: 1}, nil)
+	}
+	if _, err := SortT(t.Context(), input, orderCodec, WithMethod(Method(9))); err == nil {
+		t.Fatal("bad option must fail")
+	}
+	// Canceled context: Sort errors after consuming some input; the stop
+	// path runs on an in-flight sequence.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SortT(ctx, input, orderCodec); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestKeyOnlyCodec checks the nil-EncodeFunc convenience: a type that fits
+// entirely in the key needs no payload at all.
+func TestKeyOnlyCodec(t *testing.T) {
+	codec := FuncCodec[uint64]{
+		KeyFunc:    func(v uint64) Key { return v },
+		DecodeFunc: func(k Key, _ []byte) (uint64, error) { return k, nil },
+	}
+	out, err := SortSliceT(t.Context(), []uint64{5, 3, 9, 1, 1, 7}, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(out, []uint64{1, 1, 3, 5, 7, 9}) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestResultAllSeq checks the Seq2 view of an untyped Result, including
+// early break.
+func TestResultAllSeq(t *testing.T) {
+	res, err := Sort(t.Context(), NewSliceIterator(randomRecords(5000, 9, 4)),
+		WithPageRecords(64), WithBudget(NewBudget(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	var prev Record
+	n := 0
+	for rec, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 && Less(rec, prev) {
+			t.Fatal("All() out of order")
+		}
+		prev = rec
+		n++
+		if n == 100 {
+			break // early break must not panic or leak
+		}
+	}
+	if n != 100 {
+		t.Fatalf("n = %d", n)
+	}
+	// FromSeq round trip: All -> FromSeq -> Drain.
+	recs, err := Drain(FromSeq(res.All()))
+	if err != nil || len(recs) != res.Tuples {
+		t.Fatalf("FromSeq round trip: %v, %d records", err, len(recs))
+	}
+}
