@@ -324,3 +324,69 @@ func BenchmarkFileStore(b *testing.B) {
 	}
 	b.SetBytes(int64(len(recs) * 8))
 }
+
+// benchPayloadRecords produces records with variable-length payloads of up
+// to maxPayload bytes (mean maxPayload/2), exercising the payload
+// encode/decode path that zero-payload benchmarks skip entirely.
+func benchPayloadRecords(n, maxPayload int) (recs []Record, bytes int64) {
+	rng := rand.New(rand.NewPCG(17, 4))
+	recs = make([]Record, n)
+	for i := range recs {
+		p := make([]byte, rng.IntN(maxPayload+1))
+		for j := range p {
+			p[j] = byte(rng.Uint64())
+		}
+		bytes += int64(8 + len(p))
+		recs[i] = Record{Key: rng.Uint64(), Payload: p}
+	}
+	return recs, bytes
+}
+
+// BenchmarkRealSortPayload measures the real engine sorting payload-bearing
+// records through the default in-memory store.
+func BenchmarkRealSortPayload(b *testing.B) {
+	for _, maxPayload := range []int{16, 128} {
+		recs, bytes := benchPayloadRecords(100_000, maxPayload)
+		b.Run(fmt.Sprintf("p%d", maxPayload), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				res, err := Sort(context.Background(), NewSliceIterator(recs),
+					WithPageRecords(256), WithBudget(NewBudget(32)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFileStorePayload measures the disk-backed store end to end with
+// payload-bearing records: encode, background write, positional read, and
+// zero-copy decode.
+func BenchmarkFileStorePayload(b *testing.B) {
+	for _, maxPayload := range []int{16, 128} {
+		recs, bytes := benchPayloadRecords(50_000, maxPayload)
+		b.Run(fmt.Sprintf("p%d", maxPayload), func(b *testing.B) {
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				store, err := NewFileStore(fmt.Sprintf("%s/run%d", dir, i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Sort(context.Background(), NewSliceIterator(recs),
+					WithPageRecords(256), WithBudget(NewBudget(16)), WithStore(store))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Close()
+				store.Close()
+			}
+		})
+	}
+}

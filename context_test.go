@@ -138,14 +138,13 @@ func TestSortCanceledDuringSuspension(t *testing.T) {
 					squeeze.Do(func() { go squeezer() })
 				case ev.Kind == EvSuspend:
 					suspended.Store(true)
-					// Cancel once the sort is parked; the delay makes it
-					// actually block in the wait first.
-					cancelOnce.Do(func() {
-						go func() {
-							time.Sleep(10 * time.Millisecond)
-							cancel()
-						}()
-					})
+					// Cancel synchronously, on the sorting goroutine, before
+					// the suspension wait begins: whether the wait then blocks
+					// or the budget races back, the sort must observe the
+					// cancellation at its next adaptation point. (A delayed
+					// cancel is flaky: a fast resume can finish the sort
+					// before the cancel lands.)
+					cancelOnce.Do(cancel)
 				}
 			}))
 		errCh <- err

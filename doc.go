@@ -46,6 +46,19 @@
 // (GroupBy) and run compaction (Merge) run on the same adaptive machinery
 // and compose through the shared *Budget.
 //
+// # Buffer ownership
+//
+// The engine allocates near zero in steady state, which makes buffer
+// ownership part of the contract. Slices given to NewSliceIterator are
+// read in place (do not mutate them until the operator returns). Pages
+// passed to RunStore.Append belong to the store only until the returned
+// token completes. Pages returned by RunStore.ReadAsync are read-only.
+// FileStore decodes pages zero-copy: every Record.Payload of a page
+// aliases one read buffer, which lives exactly as long as records
+// referencing it — callers retaining payloads from many pages should copy
+// them (append([]byte(nil), rec.Payload...)), and must never mutate them.
+// See README.md ("Buffer ownership and zero-copy") for the full rules.
+//
 // See README.md for a tour of the repository, and cmd/masim for the full
 // reproduction of the paper's evaluation on a simulated DBMS.
 package masort

@@ -1,40 +1,123 @@
 package masort
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+
+	"github.com/memadapt/masort/internal/pagecodec"
 )
 
+// DefaultReadConcurrency is how many page reads a FileStore executes in
+// parallel unless WithReadConcurrency says otherwise. External-memory merges
+// read one page from each of up to fan-in runs at a time; a handful of
+// outstanding positional reads keeps the device busy without thrashing it.
+const DefaultReadConcurrency = 8
+
+// writeQueueDepth bounds how many encoded write batches may be queued per
+// run before Append blocks (back-pressure against a slow disk).
+const writeQueueDepth = 4
+
 // FileStore is a disk-backed RunStore: each run is one file in a directory.
-// Pages are encoded with a small binary framing (record count, then
-// key + payload per record) and an in-memory page index is kept per run.
-// Writes go through a buffered writer and are flushed before any read of
-// the same run, so tokens complete immediately.
+// Pages are framed by internal/pagecodec and an in-memory page index is
+// kept per run.
+//
+// The store is genuinely asynchronous on both paths:
+//
+//   - Append encodes pages into a pooled buffer, advances the page index,
+//     and hands the bytes to a per-run background writer; the returned Token
+//     completes when the batch is durable. Encoding happens on the caller's
+//     goroutine, so the page slices may be reused as soon as the Token
+//     completes (the store never retains them).
+//   - ReadAsync returns immediately; the page is fetched by a bounded pool
+//     of workers using positional ReadAt on the exact page extent, so N
+//     merge inputs are read in parallel and reads never contend with the
+//     writer for a file offset. Decoding is zero-copy: Record.Payload
+//     sub-slices the read buffer (see the package's buffer-ownership notes).
+//
+// A read of a page whose write is still queued waits for durability first,
+// so the RunStore contract ("readable once the Append token completes")
+// holds even under concurrent use across runs.
 type FileStore struct {
 	dir string
 	own bool // remove dir on Close
+
+	readSem chan struct{} // bounds concurrently executing page reads
+	bufs    sync.Pool     // *[]byte encode / read buffers
+
+	// failWrite, when non-nil, is consulted before every background WriteAt;
+	// a non-nil return fails the write — a test hook for exercising the
+	// mid-run write-failure rollback path. Set it at construction time (via
+	// a FileStoreOption) so the writer goroutines see it safely.
+	failWrite func(off int64, b []byte) error
 
 	mu   sync.Mutex
 	runs map[RunID]*fileRun
 	next RunID
 }
 
-type fileRun struct {
-	f       *os.File
-	w       *bufio.Writer
-	offsets []int64 // byte offset of each page
-	end     int64
-	dirty   bool
+// FileStoreOption configures a FileStore.
+type FileStoreOption func(*FileStore)
+
+// WithReadConcurrency bounds the number of page reads the store executes in
+// parallel (default DefaultReadConcurrency).
+func WithReadConcurrency(n int) FileStoreOption {
+	return func(s *FileStore) {
+		if n > 0 {
+			s.readSem = make(chan struct{}, n)
+		}
+	}
 }
+
+// fileRun is one run file plus its page index and write pipeline. offsets
+// and end are updated synchronously by Append (so Pages and read extents are
+// immediately consistent); durable trails them, advanced by the background
+// writer as batches land on disk.
+type fileRun struct {
+	f *os.File
+
+	mu      sync.Mutex
+	cond    sync.Cond // signaled when durable, werr or closing change
+	offsets []int64   // byte offset of each page
+	end     int64     // offset past the last indexed page
+	durable int64     // bytes confirmed on disk
+	werr    error     // sticky background-write error (run is broken)
+	closing bool      // Free/Close in progress: reject new work
+
+	wq      chan fsWriteJob
+	wdone   chan struct{}  // writer goroutine exited
+	readers sync.WaitGroup // in-flight page reads
+	appends sync.WaitGroup // Append calls between index update and enqueue
+}
+
+type fsWriteJob struct {
+	off int64
+	buf []byte
+	tok *fsToken
+}
+
+// fsToken is an asynchronous write completion handle.
+type fsToken struct {
+	done chan struct{}
+	err  error
+}
+
+func (t *fsToken) Wait() error { <-t.done; return t.err }
+
+// fsPageToken is an asynchronous read completion handle.
+type fsPageToken struct {
+	done chan struct{}
+	pg   Page
+	err  error
+}
+
+func (t *fsPageToken) Wait() (Page, error) { <-t.done; return t.pg, t.err }
 
 // NewFileStore creates a run store in dir; dir is created if missing. If
 // dir is empty, a fresh temporary directory is used and removed on Close.
-func NewFileStore(dir string) (*FileStore, error) {
+func NewFileStore(dir string, opts ...FileStoreOption) (*FileStore, error) {
 	own := false
 	if dir == "" {
 		d, err := os.MkdirTemp("", "masort-runs-")
@@ -46,25 +129,53 @@ func NewFileStore(dir string) (*FileStore, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &FileStore{dir: dir, own: own, runs: map[RunID]*fileRun{}}, nil
+	s := &FileStore{
+		dir:     dir,
+		own:     own,
+		runs:    map[RunID]*fileRun{},
+		readSem: make(chan struct{}, DefaultReadConcurrency),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Dir returns the directory holding run files.
 func (s *FileStore) Dir() string { return s.dir }
 
+func (s *FileStore) getBuf(n int) []byte {
+	if v := s.bufs.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (s *FileStore) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	s.bufs.Put(&b)
+}
+
 // Close frees every run and removes the directory if the store owns it.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var first error
+	var runs []*fileRun
 	for id, r := range s.runs {
-		if err := r.f.Close(); err != nil && first == nil {
-			first = err
-		}
-		if err := os.Remove(r.f.Name()); err != nil && first == nil {
-			first = err
-		}
+		runs = append(runs, r)
 		delete(s.runs, id)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, r := range runs {
+		if err := s.teardownRun(r); err != nil && first == nil {
+			first = err
+		}
 	}
 	if s.own {
 		if err := os.Remove(s.dir); err != nil && first == nil {
@@ -74,7 +185,7 @@ func (s *FileStore) Close() error {
 	return first
 }
 
-// Create opens a new empty run file.
+// Create opens a new empty run file and starts its background writer.
 func (s *FileStore) Create() (RunID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -84,139 +195,232 @@ func (s *FileStore) Create() (RunID, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.runs[id] = &fileRun{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	r := &fileRun{
+		f:     f,
+		wq:    make(chan fsWriteJob, writeQueueDepth),
+		wdone: make(chan struct{}),
+	}
+	r.cond.L = &r.mu
+	s.runs[id] = r
+	go s.runWriter(r)
 	return id, nil
 }
 
-func encodePage(w io.Writer, pg Page) (int64, error) {
-	var n int64
-	var hdr [binary.MaxVarintLen64]byte
-	write := func(b []byte) error {
-		m, err := w.Write(b)
-		n += int64(m)
-		return err
-	}
-	if err := write(hdr[:binary.PutUvarint(hdr[:], uint64(len(pg)))]); err != nil {
-		return n, err
-	}
-	for _, rec := range pg {
-		var kb [8]byte
-		binary.LittleEndian.PutUint64(kb[:], rec.Key)
-		if err := write(kb[:]); err != nil {
-			return n, err
+// runWriter is the per-run background writer: it lands encoded batches with
+// positional writes and advances the durability watermark. On the first
+// write error it rolls the run back to the last durable page boundary —
+// index entries at or beyond the failed batch are dropped and the file is
+// truncated to match — and fails that batch's token and every later one.
+func (s *FileStore) runWriter(r *fileRun) {
+	defer close(r.wdone)
+	for job := range r.wq {
+		r.mu.Lock()
+		werr := r.werr
+		r.mu.Unlock()
+		if werr != nil {
+			job.tok.err = werr
+			close(job.tok.done)
+			s.putBuf(job.buf)
+			continue
 		}
-		if err := write(hdr[:binary.PutUvarint(hdr[:], uint64(len(rec.Payload)))]); err != nil {
-			return n, err
+		var err error
+		if s.failWrite != nil {
+			err = s.failWrite(job.off, job.buf)
 		}
-		if err := write(rec.Payload); err != nil {
-			return n, err
+		if err == nil {
+			_, err = r.f.WriteAt(job.buf, job.off)
 		}
-	}
-	return n, nil
-}
-
-func decodePage(r *bufio.Reader) (Page, error) {
-	cnt, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, err
-	}
-	pg := make(Page, 0, cnt)
-	for i := uint64(0); i < cnt; i++ {
-		var kb [8]byte
-		if _, err := io.ReadFull(r, kb[:]); err != nil {
-			return nil, err
-		}
-		plen, err := binary.ReadUvarint(r)
+		r.mu.Lock()
 		if err != nil {
-			return nil, err
+			r.werr = err
+			// Roll back: the index must only describe durable pages.
+			i := sort.Search(len(r.offsets), func(i int) bool { return r.offsets[i] >= job.off })
+			r.offsets = r.offsets[:i]
+			r.end = job.off
+			_ = r.f.Truncate(job.off)
+		} else {
+			r.durable = job.off + int64(len(job.buf))
 		}
-		var payload []byte
-		if plen > 0 {
-			payload = make([]byte, plen)
-			if _, err := io.ReadFull(r, payload); err != nil {
-				return nil, err
-			}
-		}
-		pg = append(pg, Record{Key: binary.LittleEndian.Uint64(kb[:]), Payload: payload})
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		job.tok.err = err
+		close(job.tok.done)
+		s.putBuf(job.buf)
 	}
-	return pg, nil
 }
 
-// Append writes pages to the end of the run.
-func (s *FileStore) Append(id RunID, pages []Page) (Token, error) {
+func (s *FileStore) run(id RunID) *fileRun {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.runs[id]
-	if !ok {
+	return s.runs[id]
+}
+
+// Append encodes pages and queues them for the run's background writer. The
+// page index advances immediately; the returned token completes once the
+// bytes are durable. The caller may reuse the page slices after the token
+// completes — the store keeps only the encoded bytes.
+func (s *FileStore) Append(id RunID, pages []Page) (Token, error) {
+	r := s.run(id)
+	if r == nil {
 		return nil, fmt.Errorf("masort: append to unknown run %d", id)
 	}
-	for _, pg := range pages {
-		r.offsets = append(r.offsets, r.end)
-		n, err := encodePage(r.w, pg)
-		r.end += n
-		if err != nil {
-			return nil, err
-		}
+	if len(pages) == 0 {
+		return readyToken{}, nil
 	}
-	r.dirty = true
-	return readyToken{}, nil
+	r.mu.Lock()
+	if r.werr != nil {
+		err := r.werr
+		r.mu.Unlock()
+		return nil, fmt.Errorf("masort: append to broken run %d: %w", id, err)
+	}
+	if r.closing {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("masort: append to freed run %d", id)
+	}
+	start := r.end
+	buf := s.getBuf(0)[:0]
+	for _, pg := range pages {
+		r.offsets = append(r.offsets, start+int64(len(buf)))
+		buf = pagecodec.AppendPage(buf, pg)
+	}
+	r.end = start + int64(len(buf))
+	// Registered under the lock so teardownRun cannot close wq between the
+	// closing check above and the send below.
+	r.appends.Add(1)
+	r.mu.Unlock()
+	tok := &fsToken{done: make(chan struct{})}
+	r.wq <- fsWriteJob{off: start, buf: buf, tok: tok}
+	r.appends.Done()
+	return tok, nil
 }
 
-// ReadAsync reads one page of a run.
+// ReadAsync starts reading one page and returns immediately. The read runs
+// on the store's bounded worker pool with a positional ReadAt of the exact
+// page extent; it waits for the page's write to be durable first, so reads
+// may overlap the background writer freely.
 func (s *FileStore) ReadAsync(id RunID, page int) PageToken {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.runs[id]
-	if !ok {
+	r := s.run(id)
+	if r == nil {
 		return readyPage{err: fmt.Errorf("masort: read of unknown run %d", id)}
 	}
+	r.mu.Lock()
+	if r.closing {
+		r.mu.Unlock()
+		return readyPage{err: fmt.Errorf("masort: read of freed run %d", id)}
+	}
 	if page < 0 || page >= len(r.offsets) {
+		werr := r.werr
+		r.mu.Unlock()
+		if werr != nil {
+			return readyPage{err: fmt.Errorf("masort: read of run %d page %d after write failure: %w", id, page, werr)}
+		}
 		return readyPage{err: fmt.Errorf("masort: run %d has no page %d", id, page)}
 	}
-	if r.dirty {
-		if err := r.w.Flush(); err != nil {
-			return readyPage{err: err}
+	off := r.offsets[page]
+	end := r.end
+	if page+1 < len(r.offsets) {
+		end = r.offsets[page+1]
+	}
+	r.readers.Add(1)
+	r.mu.Unlock()
+	tok := &fsPageToken{done: make(chan struct{})}
+	go s.readPage(r, id, page, off, end, tok)
+	return tok
+}
+
+func (s *FileStore) readPage(r *fileRun, id RunID, page int, off, end int64, tok *fsPageToken) {
+	defer r.readers.Done()
+	defer close(tok.done)
+	// Wait for the page's bytes to be durable (its write may still be in the
+	// background writer's queue).
+	r.mu.Lock()
+	for r.durable < end && r.werr == nil && !r.closing {
+		r.cond.Wait()
+	}
+	switch {
+	case r.durable >= end:
+		// written; fall through to the read
+	case r.werr != nil:
+		err := r.werr
+		r.mu.Unlock()
+		tok.err = fmt.Errorf("masort: read of run %d page %d after write failure: %w", id, page, err)
+		return
+	default: // closing
+		r.mu.Unlock()
+		tok.err = fmt.Errorf("masort: read of freed run %d", id)
+		return
+	}
+	r.mu.Unlock()
+
+	s.readSem <- struct{}{}
+	defer func() { <-s.readSem }()
+	buf := s.getBuf(int(end - off))
+	if _, err := r.f.ReadAt(buf, off); err != nil {
+		s.putBuf(buf)
+		tok.err = fmt.Errorf("masort: read run %d page %d: %w", id, page, err)
+		return
+	}
+	pg, alias, n, err := pagecodec.DecodePage(buf)
+	if err != nil || n != len(buf) {
+		s.putBuf(buf)
+		if err == nil {
+			err = fmt.Errorf("page extent is %d bytes, decoded %d", len(buf), n)
 		}
-		r.dirty = false
+		tok.err = fmt.Errorf("masort: decode run %d page %d: %w", id, page, err)
+		return
 	}
-	if _, err := r.f.Seek(r.offsets[page], io.SeekStart); err != nil {
-		return readyPage{err: err}
+	if alias == 0 {
+		// No payload bytes escaped into the page: the buffer is dead and can
+		// be recycled now. Otherwise the decoded records own it.
+		s.putBuf(buf)
 	}
-	pg, err := decodePage(bufio.NewReaderSize(r.f, 1<<15))
-	if err != nil {
-		return readyPage{err: fmt.Errorf("masort: decode run %d page %d: %w", id, page, err)}
-	}
-	// Leave the write position where appends expect it.
-	if _, err := r.f.Seek(r.end, io.SeekStart); err != nil {
-		return readyPage{err: err}
-	}
-	return readyPage{pg: pg}
+	tok.pg = pg
 }
 
-// Pages returns the number of pages in a run.
+// Pages returns the number of pages appended so far (durable or queued).
 func (s *FileStore) Pages(id RunID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r, ok := s.runs[id]; ok {
-		return len(r.offsets)
+	r := s.run(id)
+	if r == nil {
+		return 0
 	}
-	return 0
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.offsets)
 }
 
-// Free removes a run and its file.
+// Free removes a run and its file, draining its write pipeline first.
 func (s *FileStore) Free(id RunID) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r, ok := s.runs[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("masort: free of unknown run %d", id)
 	}
 	delete(s.runs, id)
+	s.mu.Unlock()
+	return s.teardownRun(r)
+}
+
+// teardownRun quiesces a run's pipeline and deletes its file: in-flight
+// Append enqueues finish, queued writes are drained (their tokens resolve
+// normally), waiting readers are woken with an error, and only then is the
+// file closed and removed. Removal is attempted even if the close fails,
+// so an owned store directory can still be emptied.
+func (s *FileStore) teardownRun(r *fileRun) error {
+	r.mu.Lock()
+	r.closing = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.appends.Wait() // the writer keeps draining until wq closes, so this cannot hang
+	close(r.wq)
+	<-r.wdone
+	r.readers.Wait()
 	name := r.f.Name()
-	if err := r.f.Close(); err != nil {
-		return err
+	err := r.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
 	}
-	return os.Remove(name)
+	return err
 }
 
 // Live returns the number of unfreed runs.

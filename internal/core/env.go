@@ -21,12 +21,21 @@ type PageToken interface {
 }
 
 // RunStore stores sorted runs. Implementations are bound to the executing
-// process/goroutine: all calls for one sort come from that single context.
+// process/goroutine: all calls for one *run* come from that single context
+// (different runs may be driven from different goroutines).
+//
+// Buffer ownership: a store must not retain the page slices passed to
+// Append past the completion of the returned token — the engine recycles
+// its output page buffers once the token completes. Conversely, pages
+// returned by ReadAsync are owned by the store's caller for reading; the
+// caller must treat them as immutable (stores may return shared or
+// buffer-aliasing pages).
 type RunStore interface {
 	// Create opens a new empty run.
 	Create() (RunID, error)
 	// Append writes pages to the end of the run asynchronously. The pages
-	// become readable once the returned token completes.
+	// become readable once the returned token completes, and the caller may
+	// reuse the page slices from that moment on.
 	Append(id RunID, pages []Page) (Token, error)
 	// ReadAsync starts reading one page (0-based) of the run.
 	ReadAsync(id RunID, page int) PageToken

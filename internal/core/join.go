@@ -349,7 +349,7 @@ func (j *joinEngine) joinSome(st *mergeStep, lh, rh *headHeap) (stepResult, erro
 			}
 			return needAdapt, nil
 		}
-		l, r := lh.rs[0], rh.rs[0]
+		l, r := lh.rs[0].r, rh.rs[0].r
 		switch {
 		case l.ws.Key < r.ws.Key:
 			res, err := m.advanceRun(st, l)
@@ -400,8 +400,8 @@ func (j *joinEngine) processGroup(st *mergeStep, lh, rh *headHeap, produced *int
 	m := j.m
 	R := m.cfg.PageRecords
 	key := j.groupKey
-	for len(rh.rs) > 0 && rh.rs[0].ws.Key == key {
-		rr := rh.rs[0]
+	for len(rh.rs) > 0 && rh.rs[0].key == key {
+		rr := rh.rs[0].r
 		j.group = append(j.group, rr.ws)
 		res, err := m.advanceRun(st, rr)
 		if err != nil {
@@ -416,13 +416,13 @@ func (j *joinEngine) processGroup(st *mergeStep, lh, rh *headHeap, produced *int
 			rh.fixRoot()
 		}
 	}
-	for len(lh.rs) > 0 && lh.rs[0].ws.Key == key {
-		ll := lh.rs[0]
+	for len(lh.rs) > 0 && lh.rs[0].key == key {
+		ll := lh.rs[0].r
 		for _, g := range j.group {
 			payload := make([]byte, 0, len(ll.ws.Payload)+len(g.Payload))
 			payload = append(payload, ll.ws.Payload...)
 			payload = append(payload, g.Payload...)
-			m.outBuf = append(m.outBuf, Record{Key: key, Payload: payload})
+			m.appendOut(Record{Key: key, Payload: payload})
 			*produced++
 			m.e.charge(OpCopyTuple, 1)
 			if len(m.outBuf) >= R {
@@ -457,7 +457,7 @@ func (j *joinEngine) processGroup(st *mergeStep, lh, rh *headHeap, produced *int
 func (j *joinEngine) drainAll(st *mergeStep, hh *headHeap) (done bool, err error) {
 	m := j.m
 	for len(hh.rs) > 0 {
-		r := hh.rs[0]
+		r := hh.rs[0].r
 		res, err := m.advanceRun(st, r)
 		if err != nil {
 			return false, err

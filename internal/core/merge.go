@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 )
@@ -43,11 +44,24 @@ type mergeEngine struct {
 	active  *mergeStep
 	curStep *mergeStep // step whose buffers the reclaimer may take
 
-	outBuf   Page
+	outBuf   Page  // output page under construction
+	outSent  Page  // page handed to Append, reusable once outTok completes
+	outFree  Page  // recycled page buffer for the next outBuf
 	outTok   Token
 	mruClock int64
 	cmp      int64 // comparison charges accumulated between flushes
+
+	// hh is the head heap over the active step's runs. It persists across
+	// output pages — rebuilding it per page costs Θ(fan-in) comparisons and
+	// an allocation per page — and is invalidated only when the step's run
+	// set changes (split, combine, absorb) or a run blocks mid-advance.
+	hh      headHeap
+	hhStep  *mergeStep // step hh was built for
+	hhValid bool
 }
+
+// invalidateHeap forces the next produceOnePage to rebuild the head heap.
+func (m *mergeEngine) invalidateHeap() { m.hhValid = false }
 
 // mergeRuns merges runs into a single result run under the configured
 // merging strategy and adaptation strategy.
@@ -109,7 +123,8 @@ func (m *mergeEngine) newOutRun() (*runInfo, error) {
 // handed back. This is the no-leak guarantee for canceled operations.
 func (m *mergeEngine) releaseStep(st *mergeStep) {
 	_ = m.waitOut()
-	m.outBuf = nil
+	m.outBuf, m.outSent, m.outFree = nil, nil, nil
+	m.invalidateHeap()
 	seen := map[*mergeStep]bool{}
 	var visit func(*mergeStep)
 	visit = func(s *mergeStep) {
@@ -436,6 +451,7 @@ func (m *mergeEngine) splitActive(target int) error {
 		m.st.Splits++
 		m.e.emit(EvSplitStep, len(chosen), "")
 	}
+	m.invalidateHeap() // run sets changed on every step along the chain
 	m.active = st
 	m.rebalance(st)
 	return nil
@@ -460,6 +476,7 @@ func (m *mergeEngine) absorb(st *mergeStep) error {
 		}
 	}
 	st.inputs = append(inputs, prelim.inputs...)
+	m.invalidateHeap() // the absorbed runs must enter the heap
 	m.e.emit(EvCombineDone, len(st.inputs), "")
 	return m.freeRun(drained)
 }
@@ -644,6 +661,20 @@ func (m *mergeEngine) load(st *mergeStep, r *runInfo, ahead int) (bool, error) {
 	return true, nil
 }
 
+// appendOut appends one record to the output page, reusing the recycled
+// page buffer when one is available (steady-state merging allocates no new
+// output pages: two buffers rotate through fill → in-flight → free).
+func (m *mergeEngine) appendOut(rec Record) {
+	if m.outBuf == nil {
+		if m.outFree != nil {
+			m.outBuf, m.outFree = m.outFree, nil
+		} else {
+			m.outBuf = make(Page, 0, m.cfg.PageRecords)
+		}
+	}
+	m.outBuf = append(m.outBuf, rec)
+}
+
 // flushOut appends the (possibly partial) output buffer to the step's
 // output run asynchronously, waiting for the previous flush first.
 func (m *mergeEngine) flushOut(st *mergeStep) error {
@@ -660,6 +691,7 @@ func (m *mergeEngine) flushOut(st *mergeStep) error {
 		return err
 	}
 	m.outTok = tok
+	m.outSent = pg
 	st.out.pages++
 	st.out.tuples += len(pg)
 	m.st.MergePagesWritten++
@@ -669,12 +701,21 @@ func (m *mergeEngine) flushOut(st *mergeStep) error {
 	return nil
 }
 
+// waitOut waits for the in-flight output write. Once the token completes
+// every store has taken its own copy of the bytes (RunStore contract), so
+// the flushed page buffer is recycled for the next output page.
 func (m *mergeEngine) waitOut() error {
 	if m.outTok == nil {
 		return nil
 	}
 	err := m.outTok.Wait()
 	m.outTok = nil
+	if m.outSent != nil {
+		if err == nil {
+			m.outFree = m.outSent[:0]
+		}
+		m.outSent = nil
+	}
 	return err
 }
 
@@ -696,6 +737,7 @@ func (m *mergeEngine) finishStep(st *mergeStep) error {
 		}
 	}
 	st.out.producer = nil
+	m.invalidateHeap()
 	m.st.MergeSteps++
 	m.e.emit(EvStepDone, len(st.inputs), "")
 	if g := m.e.Mem.Granted(); g > m.st.MaxGranted {
@@ -713,20 +755,34 @@ func (m *mergeEngine) freeRun(r *runInfo) error {
 	return m.e.Store.Free(r.id)
 }
 
+// headEntry is one headHeap node: the run's current key cached beside the
+// run pointer, so the common comparison touches only the 16-byte entry
+// (payloads are consulted only to break key ties).
+type headEntry struct {
+	key Key
+	r   *runInfo
+}
+
 // headHeap is a min-heap over the current records of loaded runs, playing
 // the selection tree's role; its comparison count is charged to the CPU.
+// The comparison algorithm matches Less exactly (key, then payload bytes),
+// so the cached-key layout changes no comparison counts.
 type headHeap struct {
-	rs  []*runInfo
+	rs  []headEntry
 	cmp *int64
 }
 
 func (h *headHeap) less(i, j int) bool {
 	*h.cmp++
-	return Less(h.rs[i].ws, h.rs[j].ws)
+	a, b := h.rs[i], h.rs[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return bytes.Compare(a.r.ws.Payload, b.r.ws.Payload) < 0
 }
 
 func (h *headHeap) push(r *runInfo) {
-	h.rs = append(h.rs, r)
+	h.rs = append(h.rs, headEntry{key: r.ws.Key, r: r})
 	i := len(h.rs) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -738,7 +794,10 @@ func (h *headHeap) push(r *runInfo) {
 	}
 }
 
+// fixRoot restores heap order after the root run advanced to a new record
+// (refreshing its cached key first).
 func (h *headHeap) fixRoot() {
+	h.rs[0].key = h.rs[0].r.ws.Key
 	i := 0
 	n := len(h.rs)
 	for {
@@ -803,48 +862,65 @@ func (m *mergeEngine) advanceRun(st *mergeStep, r *runInfo) (advResult, error) {
 // is filled and flushed. It returns early with drainEmpty when the drained
 // run empties (correctness requires absorbing before emitting more) or
 // needAdapt when a buffer cannot be loaded under the current memory.
+//
+// The head heap persists across calls: it is rebuilt only when the step
+// changed or something invalidated it. Run workspaces survive buffer drops
+// (suspension, paging eviction, reclaim), so heap order stays correct
+// across those events without a rebuild.
 func (m *mergeEngine) produceOnePage(st *mergeStep) (stepResult, error) {
 	R := m.cfg.PageRecords
 	var drainRun *runInfo
 	if st.drainOf != nil {
 		drainRun = st.drainOf.out
 	}
-	hh := headHeap{cmp: &m.cmp}
-	for _, r := range st.inputs {
-		if !r.wsValid {
-			if r.exhausted() {
-				continue
+	hh := &m.hh
+	if !m.hhValid || m.hhStep != st {
+		hh.cmp = &m.cmp
+		hh.rs = hh.rs[:0]
+		m.hhStep = st
+		m.hhValid = false
+		for _, r := range st.inputs {
+			if !r.wsValid {
+				if r.exhausted() {
+					continue
+				}
+				res, err := m.advanceRun(st, r)
+				if err != nil {
+					return 0, err
+				}
+				if res == advBlocked {
+					return needAdapt, nil
+				}
+				if res == advDry {
+					continue
+				}
 			}
-			res, err := m.advanceRun(st, r)
-			if err != nil {
-				return 0, err
-			}
-			if res == advBlocked {
-				return needAdapt, nil
-			}
-			if res == advDry {
-				continue
-			}
+			hh.push(r)
 		}
-		hh.push(r)
+		m.hhValid = true
 	}
 	if drainRun != nil && drainRun.exhausted() {
 		return drainEmpty, nil
 	}
 	if len(hh.rs) == 0 {
+		m.invalidateHeap()
 		return stepDone, nil
 	}
 	for len(m.outBuf) < R && len(hh.rs) > 0 {
-		r := hh.rs[0]
-		m.outBuf = append(m.outBuf, r.ws)
+		r := hh.rs[0].r
+		m.appendOut(r.ws)
 		res, err := m.advanceRun(st, r)
 		if err != nil {
+			m.invalidateHeap()
 			return 0, err
 		}
 		switch res {
 		case advOK:
 			hh.fixRoot()
 		case advBlocked:
+			// The root consumed its workspace but could not refill: the heap
+			// no longer reflects it. Rebuild after adaptation.
+			m.invalidateHeap()
 			if err := m.flushOut(st); err != nil {
 				return 0, err
 			}

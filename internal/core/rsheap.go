@@ -1,5 +1,7 @@
 package core
 
+import "bytes"
+
 // rsItem is a heap entry for replacement selection: records are ordered by
 // run tag first, so tuples destined for the next run sink below everything
 // still eligible for the current one (Knuth vol. 3's classic scheme).
@@ -8,14 +10,30 @@ type rsItem struct {
 	rec Record
 }
 
-// rsHeap is a binary min-heap of rsItems that counts its comparisons so the
-// caller can charge them to the simulated CPU.
+// rsEntry is the in-heap representation of an rsItem: 16 bytes, pointer
+// free. Sift operations move and compare only these entries — four per
+// cache line instead of one 40-byte rsItem — while the record (whose
+// payload slice would make every swap 40 bytes and every node a GC scan
+// target) sits in a stable side table addressed by idx.
+type rsEntry struct {
+	run int32
+	idx int32
+	key Key
+}
+
+// rsHeap is a binary min-heap for replacement selection that counts its
+// comparisons so the caller can charge them to the simulated CPU. The
+// comparison algorithm is exactly the classic sift-up/sift-down, so the
+// comparison counts — and therefore the simulator's CPU timings — are
+// independent of the compact layout.
 type rsHeap struct {
-	items    []rsItem
+	entries  []rsEntry
+	recs     []Record // side table; entries[i].idx indexes it
+	free     []int32  // recycled side-table slots
 	compares int64
 }
 
-func (h *rsHeap) Len() int { return len(h.items) }
+func (h *rsHeap) Len() int { return len(h.entries) }
 
 // TakeCompares returns comparisons performed since the last call.
 func (h *rsHeap) TakeCompares() int64 {
@@ -24,57 +42,105 @@ func (h *rsHeap) TakeCompares() int64 {
 	return c
 }
 
-func (h *rsHeap) less(i, j int) bool {
-	h.compares++
-	a, b := h.items[i], h.items[j]
-	if a.run != b.run {
-		return a.run < b.run
-	}
-	return Less(a.rec, b.rec)
-}
 
 // Push inserts an item.
 func (h *rsHeap) Push(it rsItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
+	var idx int32
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+		h.recs[idx] = it.rec
+	} else {
+		idx = int32(len(h.recs))
+		h.recs = append(h.recs, it.rec)
+	}
+	h.entries = append(h.entries, rsEntry{run: int32(it.run), idx: idx, key: it.rec.Key})
+	es := h.entries
+	cmp := int64(0)
+	i := len(es) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		cmp++
+		if !entryLess(es[i], es[parent], h.recs) {
 			break
 		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		es[i], es[parent] = es[parent], es[i]
 		i = parent
 	}
+	h.compares += cmp
 }
 
 // Peek returns the minimum without removing it. Panics on empty heap.
-func (h *rsHeap) Peek() rsItem { return h.items[0] }
+func (h *rsHeap) Peek() rsItem {
+	e := h.entries[0]
+	return rsItem{run: int(e.run), rec: h.recs[e.idx]}
+}
+
+// PeekRun returns the minimum's run tag without touching the record side
+// table — the block-emission loop checks the tag once per record, and this
+// keeps that check to a single 16-byte entry load.
+func (h *rsHeap) PeekRun() int { return int(h.entries[0].run) }
 
 // Pop removes and returns the minimum. Panics on empty heap.
 func (h *rsHeap) Pop() rsItem {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
+	e := h.entries[0]
+	top := rsItem{run: int(e.run), rec: h.recs[e.idx]}
+	if top.rec.Payload != nil {
+		h.recs[e.idx] = Record{} // release the payload reference
+	}
+	h.free = append(h.free, e.idx)
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
 	h.siftDown(0)
 	return top
 }
 
 func (h *rsHeap) siftDown(i int) {
-	n := len(h.items)
+	es := h.entries // hoisted: h.compares writes must not force reloads
+	recs := h.recs
+	n := len(es)
+	if i >= n {
+		return
+	}
+	cmp := int64(0)
+	e := es[i] // the element being sifted rides in registers
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && h.less(l, smallest) {
-			smallest = l
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
-		if r < n && h.less(r, smallest) {
-			smallest = r
+		smallest, sm := i, e
+		c := es[l]
+		cmp++
+		if entryLess(c, sm, recs) {
+			smallest, sm = l, c
+		}
+		if r := l + 1; r < n {
+			c = es[r]
+			cmp++
+			if entryLess(c, sm, recs) {
+				smallest, sm = r, c
+			}
 		}
 		if smallest == i {
-			return
+			break
 		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		es[i] = sm
+		es[smallest] = e
 		i = smallest
 	}
+	h.compares += cmp
+}
+
+// entryLess is the heap order on bare entries: run tag, key, then payload
+// bytes through the side table (key ties only).
+func entryLess(a, b rsEntry, recs []Record) bool {
+	if a.run != b.run {
+		return a.run < b.run
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return bytes.Compare(recs[a.idx].Payload, recs[b.idx].Payload) < 0
 }

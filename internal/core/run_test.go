@@ -74,18 +74,22 @@ func TestHeadHeapOrdering(t *testing.T) {
 		r := &runInfo{ws: Record{Key: k}, wsValid: true}
 		hh.push(r)
 	}
-	if hh.rs[0].ws.Key != 1 {
-		t.Fatalf("min = %d", hh.rs[0].ws.Key)
+	if hh.rs[0].r.ws.Key != 1 {
+		t.Fatalf("min = %d", hh.rs[0].r.ws.Key)
 	}
-	// Replace the root's value and fix: heap must re-establish order.
-	hh.rs[0].ws.Key = 60
+	// Replace the root run's current record and fix: the heap must refresh
+	// the cached key and re-establish order.
+	hh.rs[0].r.ws.Key = 60
 	hh.fixRoot()
-	if hh.rs[0].ws.Key != 7 {
-		t.Fatalf("after fix min = %d", hh.rs[0].ws.Key)
+	if hh.rs[0].r.ws.Key != 7 {
+		t.Fatalf("after fix min = %d", hh.rs[0].r.ws.Key)
 	}
 	var prev uint64
 	for i := 0; len(hh.rs) > 0; i++ {
-		k := hh.rs[0].ws.Key
+		k := hh.rs[0].r.ws.Key
+		if hh.rs[0].key != k {
+			t.Fatalf("cached key %d out of sync with ws key %d", hh.rs[0].key, k)
+		}
 		if i > 0 && k < prev {
 			t.Fatal("heap pops out of order")
 		}

@@ -155,6 +155,19 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		inputDone bool
 	)
 	heapPages := func() int { return PagesForTuples(h.Len(), R) }
+	// Output block pages rotate through fill → in-flight → free: a block's
+	// buffers are recycled once its write token completes (every store has
+	// its own copy of the bytes by then), so steady-state emission allocates
+	// no new pages.
+	var inFlight, freePages []Page
+	newPage := func() Page {
+		if n := len(freePages); n > 0 {
+			pg := freePages[n-1]
+			freePages = freePages[:n-1]
+			return pg
+		}
+		return make(Page, 0, R)
+	}
 	// fail abandons the split: the in-flight block write is awaited (its
 	// buffers are owned by the store once Append returns, but the run must
 	// be quiescent before the caller frees it) and every run produced so
@@ -186,6 +199,12 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		}
 		err := outTok.Wait()
 		outTok = nil
+		if err == nil {
+			for _, pg := range inFlight {
+				freePages = append(freePages, pg[:0])
+			}
+		}
+		inFlight = nil
 		return err
 	}
 	closeRun := func() error {
@@ -207,13 +226,13 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		if h.Len() == 0 {
 			return inputDone, nil
 		}
-		if h.Peek().run != curTag {
+		if h.PeekRun() != curTag {
 			return true, nil
 		}
 		var pages []Page
-		for len(pages) < maxPages && h.Len() > 0 && h.Peek().run == curTag {
-			pg := make(Page, 0, R)
-			for len(pg) < R && h.Len() > 0 && h.Peek().run == curTag {
+		for len(pages) < maxPages && h.Len() > 0 && h.PeekRun() == curTag {
+			pg := newPage()
+			for len(pg) < R && h.Len() > 0 && h.PeekRun() == curTag {
 				it := h.Pop()
 				pg = append(pg, it.rec)
 				curLast = it.rec
@@ -243,10 +262,11 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 			return false, err
 		}
 		outTok = tok
+		inFlight = pages
 		cur.pages += len(pages)
 		cur.tuples += countRecs(pages)
 		st.RunPagesWritten += len(pages)
-		ended = (h.Len() == 0 && inputDone) || (h.Len() > 0 && h.Peek().run != curTag)
+		ended = (h.Len() == 0 && inputDone) || (h.Len() > 0 && h.PeekRun() != curTag)
 		return ended, nil
 	}
 

@@ -1,0 +1,92 @@
+// Package pagecodec implements the binary page framing shared by the
+// disk-backed run stores: a varint record count followed by, per record, an
+// 8-byte little-endian key, a varint payload length and the payload bytes.
+//
+// The codec is allocation-conscious by design. Encoding appends to a
+// caller-provided buffer (so write buffers can be pooled), and decoding is
+// zero-copy: payloads are sub-slices of the encoded buffer, so a page
+// decodes with exactly one record-slice allocation no matter how many
+// records carry payloads. Callers therefore must not mutate the encoded
+// buffer while decoded records are live, and must copy Record.Payload if
+// they retain it past the buffer's lifetime.
+package pagecodec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/memadapt/masort/internal/core"
+)
+
+// AppendPage appends the wire encoding of pg to buf and returns the
+// extended buffer. It never fails: the encoding is defined for every page.
+func AppendPage(buf []byte, pg core.Page) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(pg)))
+	for _, rec := range pg {
+		buf = binary.LittleEndian.AppendUint64(buf, rec.Key)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Payload)))
+		buf = append(buf, rec.Payload...)
+	}
+	return buf
+}
+
+// EncodedSize returns the exact number of bytes AppendPage will append
+// for pg.
+func EncodedSize(pg core.Page) int {
+	n := uvarintLen(uint64(len(pg)))
+	for _, rec := range pg {
+		n += 8 + uvarintLen(uint64(len(rec.Payload))) + len(rec.Payload)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodePage decodes one page from the front of buf.
+//
+// Payloads are zero-copy sub-slices of buf: the returned aliasBytes is the
+// total number of payload bytes aliasing buf. When aliasBytes is zero the
+// caller may recycle buf immediately; otherwise buf is owned by the decoded
+// page until every record referencing it is dead. read is the number of
+// bytes consumed from buf.
+func DecodePage(buf []byte) (pg core.Page, aliasBytes int, read int, err error) {
+	cnt, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, 0, fmt.Errorf("pagecodec: bad record count")
+	}
+	pos := n
+	if cnt > uint64(len(buf)) { // each record takes at least one byte
+		return nil, 0, 0, fmt.Errorf("pagecodec: record count %d exceeds buffer", cnt)
+	}
+	pg = make(core.Page, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		if pos+8 > len(buf) {
+			return nil, 0, 0, fmt.Errorf("pagecodec: truncated key at record %d", i)
+		}
+		key := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		plen, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, 0, fmt.Errorf("pagecodec: bad payload length at record %d", i)
+		}
+		pos += n
+		if plen > uint64(len(buf)-pos) {
+			return nil, 0, 0, fmt.Errorf("pagecodec: truncated payload at record %d", i)
+		}
+		var payload []byte
+		if plen > 0 {
+			payload = buf[pos : pos+int(plen) : pos+int(plen)]
+			aliasBytes += int(plen)
+			pos += int(plen)
+		}
+		pg = append(pg, core.Record{Key: key, Payload: payload})
+	}
+	return pg, aliasBytes, pos, nil
+}

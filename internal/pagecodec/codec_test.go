@@ -1,0 +1,108 @@
+package pagecodec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/memadapt/masort/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	pages := []core.Page{
+		nil,
+		{},
+		{{Key: 1}},
+		{{Key: 1}, {Key: 2, Payload: []byte{}}, {Key: 3, Payload: []byte("abc")}},
+		{{Key: ^uint64(0), Payload: bytes.Repeat([]byte{0xAB}, 70000)}},
+	}
+	var buf []byte
+	var offs []int
+	for _, pg := range pages {
+		if got, want := EncodedSize(pg), len(AppendPage(nil, pg)); got != want {
+			t.Fatalf("EncodedSize = %d, encoding is %d bytes", got, want)
+		}
+		offs = append(offs, len(buf))
+		buf = AppendPage(buf, pg)
+	}
+	for i, pg := range pages {
+		got, alias, read, err := DecodePage(buf[offs[i]:])
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if read != EncodedSize(pg) {
+			t.Fatalf("page %d: consumed %d bytes, want %d", i, read, EncodedSize(pg))
+		}
+		if len(got) != len(pg) {
+			t.Fatalf("page %d: %d records, want %d", i, len(got), len(pg))
+		}
+		wantAlias := 0
+		for j := range pg {
+			if got[j].Key != pg[j].Key || !bytes.Equal(got[j].Payload, pg[j].Payload) {
+				t.Fatalf("page %d record %d: got %+v want %+v", i, j, got[j], pg[j])
+			}
+			wantAlias += len(pg[j].Payload)
+		}
+		if alias != wantAlias {
+			t.Fatalf("page %d: aliasBytes %d, want %d", i, alias, wantAlias)
+		}
+	}
+}
+
+func TestDecodeZeroCopyAliasing(t *testing.T) {
+	buf := AppendPage(nil, core.Page{{Key: 7, Payload: []byte("hello")}})
+	pg, alias, _, err := DecodePage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias != 5 {
+		t.Fatalf("aliasBytes = %d, want 5", alias)
+	}
+	// The payload must be a true sub-slice: mutating the encoded buffer
+	// shows through (this is the documented ownership contract).
+	copy(buf[len(buf)-5:], "WORLD")
+	if string(pg[0].Payload) != "WORLD" {
+		t.Fatalf("payload does not alias the buffer: %q", pg[0].Payload)
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	good := AppendPage(nil, core.Page{{Key: 1, Payload: []byte("xyz")}})
+	for i := 0; i < len(good); i++ {
+		if _, _, _, err := DecodePage(good[:i]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", i)
+		}
+	}
+	// A count claiming more records than the buffer can hold must fail
+	// before allocating.
+	if _, _, _, err := DecodePage([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Fatal("absurd record count decoded without error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keys []uint64, payloads [][]byte) bool {
+		var pg core.Page
+		for i, k := range keys {
+			var p []byte
+			if i < len(payloads) {
+				p = payloads[i]
+			}
+			pg = append(pg, core.Record{Key: k, Payload: p})
+		}
+		buf := AppendPage(nil, pg)
+		got, _, read, err := DecodePage(buf)
+		if err != nil || read != len(buf) || len(got) != len(pg) {
+			return false
+		}
+		for i := range pg {
+			if got[i].Key != pg[i].Key || !bytes.Equal(got[i].Payload, pg[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

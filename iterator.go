@@ -60,7 +60,9 @@ type sliceIterator struct {
 	i    int
 }
 
-// NewSliceIterator returns an Iterator over recs.
+// NewSliceIterator returns an Iterator over recs. Operators fed from a
+// slice iterator read the records in place (no per-page copy), so recs must
+// not be mutated until the operator returns.
 func NewSliceIterator(recs []Record) Iterator {
 	return &sliceIterator{recs: recs}
 }
@@ -158,6 +160,20 @@ func (p *pageInput) NextPage() (core.Page, bool, error) {
 	if p.done {
 		return nil, false, nil
 	}
+	// Slice inputs page without copying: the page is a sub-slice of the
+	// caller's records (read-only by the Input contract). This removes a
+	// per-record interface call and a per-page allocation from the split
+	// phase's hottest loop.
+	if s, ok := p.it.(*sliceIterator); ok {
+		if s.i >= len(s.recs) {
+			p.done = true
+			return nil, false, nil
+		}
+		j := min(s.i+p.size, len(s.recs))
+		pg := core.Page(s.recs[s.i:j:j])
+		s.i = j
+		return pg, true, nil
+	}
 	pg := make(core.Page, 0, p.size)
 	for len(pg) < p.size {
 		r, ok, err := p.it.Next()
@@ -176,7 +192,10 @@ func (p *pageInput) NextPage() (core.Page, bool, error) {
 	return pg, true, nil
 }
 
-// runIterator streams a stored run back as records.
+// runIterator streams a stored run back as records, keeping one page of
+// read-ahead in flight: while page i is being consumed, page i+1 is already
+// on its way from the store, so iteration over an asynchronous store (e.g.
+// FileStore) overlaps decode/consume with disk I/O.
 type runIterator struct {
 	store RunStore
 	id    RunID
@@ -184,6 +203,7 @@ type runIterator struct {
 	page  int
 	buf   Page
 	pos   int
+	ahead PageToken // in-flight read of page `page`, if any
 }
 
 func (r *runIterator) Next() (Record, bool, error) {
@@ -191,11 +211,19 @@ func (r *runIterator) Next() (Record, bool, error) {
 		if r.page >= r.pages {
 			return Record{}, false, nil
 		}
-		pg, err := r.store.ReadAsync(r.id, r.page).Wait()
+		tok := r.ahead
+		r.ahead = nil
+		if tok == nil {
+			tok = r.store.ReadAsync(r.id, r.page)
+		}
+		pg, err := tok.Wait()
 		if err != nil {
 			return Record{}, false, err
 		}
 		r.page++
+		if r.page < r.pages {
+			r.ahead = r.store.ReadAsync(r.id, r.page)
+		}
 		r.buf = pg
 		r.pos = 0
 	}

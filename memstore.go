@@ -6,7 +6,13 @@ import (
 )
 
 // MemStore is an in-memory RunStore. It is the default store and is also
-// handy in tests. Appends copy pages, so callers may reuse buffers.
+// handy in tests.
+//
+// Buffer ownership: Append copies the record slice of every page before
+// returning, so callers may reuse page buffers immediately (payload bytes
+// are shared, not copied — they are immutable by the RunStore contract).
+// ReadAsync returns the stored page itself, not a copy: callers must treat
+// it as read-only, and it remains valid until the run is freed.
 type MemStore struct {
 	mu    sync.Mutex
 	runs  map[RunID][]Page
