@@ -13,6 +13,8 @@ import (
 	"math/rand/v2"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/memadapt/masort/internal/experiments"
@@ -280,6 +282,42 @@ func BenchmarkRealSortAdaptive(b *testing.B) {
 		res.Close()
 	}
 	b.SetBytes(int64(len(recs) * 8))
+}
+
+// BenchmarkRealSortPool measures concurrent sorts arbitrated by one shared
+// Pool smaller than their combined standalone budgets — the
+// multiprogramming scenario of the paper's introduction on the real
+// engine. Reported time is per full batch of concurrent sorts.
+func BenchmarkRealSortPool(b *testing.B) {
+	recs := benchRecords(100_000)
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pool := NewPool(32)
+				var wg sync.WaitGroup
+				var failed atomic.Bool
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						res, err := Sort(context.Background(), NewSliceIterator(recs),
+							WithPageRecords(256), WithPool(pool))
+						if err != nil {
+							failed.Store(true)
+							return
+						}
+						res.Close()
+					}()
+				}
+				wg.Wait()
+				if failed.Load() {
+					b.Fatal("pooled sort failed")
+				}
+			}
+			b.SetBytes(int64(workers * len(recs) * 8))
+		})
+	}
 }
 
 // BenchmarkRealJoin measures the real join engine.

@@ -12,8 +12,11 @@ import (
 //
 // Grow, Shrink and Resize are safe to call from any goroutine while a sort
 // is running; changes take effect at the sort's next adaptation point
-// (page-granular). The target never drops below the floor (3 pages — two
-// merge inputs plus an output — the minimum any step needs to progress).
+// (page-granular). The target never drops below the floor — by default 3
+// pages (two merge inputs plus an output, the minimum any step needs to
+// progress), raisable with NewBudgetWithFloor when the workload's real
+// minimum is higher (a wide Join's final step, a shared Pool's
+// per-operator floor).
 type Budget struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -22,9 +25,23 @@ type Budget struct {
 	floor   int
 }
 
-// NewBudget creates a budget of the given number of pages.
+// NewBudget creates a budget of the given number of pages with the default
+// 3-page floor.
 func NewBudget(pages int) *Budget {
-	b := &Budget{floor: 3}
+	return NewBudgetWithFloor(pages, 3)
+}
+
+// NewBudgetWithFloor creates a budget of the given number of pages whose
+// target never drops below floor. Floors below 3 are raised to 3 (an
+// operator cannot progress on less), and pages below the floor are raised
+// to it. Use a floor matching the workload's true minimum — e.g. the floor
+// of a Pool the budget must coexist with, or a Join's final-step fan-in —
+// so that Shrink and Resize cannot strand the operator below it.
+func NewBudgetWithFloor(pages, floor int) *Budget {
+	if floor < 3 {
+		floor = 3
+	}
+	b := &Budget{floor: floor}
 	b.cond = sync.NewCond(&b.mu)
 	if pages < b.floor {
 		pages = b.floor
@@ -33,7 +50,15 @@ func NewBudget(pages int) *Budget {
 	return b
 }
 
-// Resize sets the target to pages (floored at 3) and wakes the operator.
+// Floor returns the guaranteed minimum below which the target never drops.
+func (b *Budget) Floor() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.floor
+}
+
+// Resize sets the target to pages (raised to the floor if below it — so
+// negative or zero values mean "shrink to minimum") and wakes the operator.
 func (b *Budget) Resize(pages int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -44,7 +69,8 @@ func (b *Budget) Resize(pages int) {
 	b.cond.Broadcast()
 }
 
-// Grow adds n pages to the target.
+// Grow adds n pages to the target. Non-positive n is ignored — use Shrink
+// to reduce the target.
 func (b *Budget) Grow(n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -54,10 +80,14 @@ func (b *Budget) Grow(n int) {
 	}
 }
 
-// Shrink removes n pages from the target (floored at 3).
+// Shrink removes n pages from the target (floored). Non-positive n is
+// ignored — use Grow to raise the target.
 func (b *Budget) Shrink(n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if n <= 0 {
+		return
+	}
 	b.target -= n
 	if b.target < b.floor {
 		b.target = b.floor

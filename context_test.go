@@ -241,7 +241,7 @@ func TestForeignContextErrorNotRelabeled(t *testing.T) {
 		return Record{Key: uint64(n)}, true, nil
 	})
 	store := NewMemStore()
-	_, err := Sort(t.Context(), input, WithPageRecords(32), WithStore(store))
+	_, err := Sort(context.Background(), input, WithPageRecords(32), WithStore(store))
 	if !errors.Is(err, fetchErr) {
 		t.Fatalf("err = %v, want the input's own error", err)
 	}
@@ -303,7 +303,7 @@ func TestBudgetConcurrentMutation(t *testing.T) {
 			}
 		}(uint64(g) + 1)
 	}
-	out, err := SortSlice(t.Context(), in, WithPageRecords(64), WithBudget(budget))
+	out, err := SortSlice(context.Background(), in, WithPageRecords(64), WithBudget(budget))
 	close(stop)
 	wg.Wait()
 	if err != nil {

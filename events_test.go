@@ -1,6 +1,7 @@
 package masort
 
 import (
+	"context"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,7 @@ func TestEventsEmittedDuringAdaptiveSort(t *testing.T) {
 			}
 		}
 	}()
-	out, err := SortSlice(t.Context(), in, opts...)
+	out, err := SortSlice(context.Background(), in, opts...)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -100,7 +101,7 @@ func TestEventsSuspension(t *testing.T) {
 	store := &shrinkOnRead{MemStore: NewMemStore(), budget: budget, at: 100}
 	var mu sync.Mutex
 	suspends, resumes := 0, 0
-	out, err := SortSlice(t.Context(), in,
+	out, err := SortSlice(context.Background(), in,
 		WithAdaptation(Suspension),
 		WithPageRecords(64),
 		WithBudget(budget),

@@ -166,6 +166,7 @@ func GroupBy(ctx context.Context, input Iterator, agg Aggregator, opts ...Option
 		Pages:    pages,
 		Tuples:   tuples,
 		Stats:    sorted.Stats,
+		Pool:     sorted.Pool,
 		Counters: sorted.Counters,
 	}, nil
 }

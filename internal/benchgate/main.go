@@ -1,0 +1,186 @@
+// Command benchgate compares two Go benchmark output files and fails when
+// the selected benchmarks regressed beyond a threshold. It is the CI
+// regression gate behind the benchstat step: benchstat renders the
+// human-readable comparison, benchgate makes the pass/fail decision on the
+// geometric-mean ns/op ratio of the real-engine benchmarks.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head bench.txt [-threshold 1.20] [-match RE]
+//
+// The tool prints a Markdown summary (suitable for $GITHUB_STEP_SUMMARY)
+// and exits 1 when geomean(head/base) > threshold. A missing or empty
+// baseline, or no benchmarks in common, is not a failure — there is
+// nothing to gate against — and exits 0 after saying so.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "baseline benchmark output file")
+		head      = flag.String("head", "", "current benchmark output file")
+		threshold = flag.Float64("threshold", 1.20, "max allowed geomean(head/base) ns/op ratio")
+		match     = flag.String("match", `^Benchmark(Real|FileStore)`, "regexp selecting gated benchmarks")
+	)
+	flag.Parse()
+	if *head == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -head is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	code, out := gate(*base, *head, *threshold, re)
+	fmt.Print(out)
+	os.Exit(code)
+}
+
+// gate runs the comparison and returns the exit code and the Markdown
+// report.
+func gate(basePath, headPath string, threshold float64, match *regexp.Regexp) (int, string) {
+	var b strings.Builder
+	headBench, err := parseFile(headPath)
+	if err != nil {
+		return 2, fmt.Sprintf("benchgate: reading head: %v\n", err)
+	}
+	baseBench, err := parseFile(basePath)
+	if err != nil || len(filterBench(baseBench, match)) == 0 {
+		b.WriteString("### Benchmark gate\n\nNo usable baseline — gate skipped (first run on this branch, or the artifact expired).\n")
+		return 0, b.String()
+	}
+	ratios, rows := compare(baseBench, headBench, match)
+	if len(ratios) == 0 {
+		b.WriteString("### Benchmark gate\n\nNo benchmarks in common with the baseline — gate skipped.\n")
+		return 0, b.String()
+	}
+	gm := geomean(ratios)
+	verdict := "PASS"
+	code := 0
+	if gm > threshold {
+		verdict = "FAIL"
+		code = 1
+	}
+	fmt.Fprintf(&b, "### Benchmark gate: %s\n\n", verdict)
+	fmt.Fprintf(&b, "geomean(head/base) over %d benchmarks: **%.3f** (threshold %.2f)\n\n",
+		len(ratios), gm, threshold)
+	b.WriteString("| benchmark | base ns/op | head ns/op | ratio |\n|---|---:|---:|---:|\n")
+	b.WriteString(rows)
+	if code != 0 {
+		fmt.Fprintf(&b, "\nReal-engine benchmarks regressed by %.1f%% geomean (> %.0f%% allowed).\n",
+			(gm-1)*100, (threshold-1)*100)
+	}
+	return code, b.String()
+}
+
+// parseFile extracts per-benchmark mean ns/op from a `go test -bench` output
+// file; repeated counts of the same benchmark are averaged geometrically.
+func parseFile(path string) (map[string]float64, error) {
+	if path == "" {
+		return nil, fmt.Errorf("no baseline given")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func parse(r io.Reader) (map[string]float64, error) {
+	logSum := map[string]float64{}
+	n := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		logSum[name] += math.Log(ns)
+		n[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(logSum))
+	for name, s := range logSum {
+		out[name] = math.Exp(s / float64(n[name]))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return out, nil
+}
+
+// parseLine parses one `BenchmarkName-P  N  123.4 ns/op ...` line.
+func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || v <= 0 {
+				return "", 0, false
+			}
+			return fields[0], v, true
+		}
+	}
+	return "", 0, false
+}
+
+func filterBench(m map[string]float64, match *regexp.Regexp) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		if match.MatchString(k) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// compare returns head/base ratios for matching benchmarks present in both
+// files, plus rendered Markdown table rows in name order.
+func compare(base, head map[string]float64, match *regexp.Regexp) ([]float64, string) {
+	names := make([]string, 0, len(head))
+	for name := range head {
+		if _, inBase := base[name]; inBase && match.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var rows strings.Builder
+	ratios := make([]float64, 0, len(names))
+	for _, name := range names {
+		r := head[name] / base[name]
+		ratios = append(ratios, r)
+		fmt.Fprintf(&rows, "| %s | %.0f | %.0f | %.3f |\n", name, base[name], head[name], r)
+	}
+	return ratios, rows.String()
+}
+
+func geomean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: github.com/memadapt/masort
+BenchmarkRealSort/repl6-split-8         	      16	  68000000 ns/op	  23.51 MB/s
+BenchmarkRealSort/quick-split-8         	      20	  50000000 ns/op
+BenchmarkFileStore-8                    	      31	  34000000 ns/op	 5800 B/op
+BenchmarkFigure5_NoFluctuation-8        	       1	 900000000 ns/op
+PASS
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseLine(t *testing.T) {
+	name, ns, ok := parseLine("BenchmarkRealSort/repl6-split-8 \t 16\t  68049062 ns/op\t  23.51 MB/s")
+	if !ok || name != "BenchmarkRealSort/repl6-split-8" || ns != 68049062 {
+		t.Fatalf("parseLine = (%q, %v, %v)", name, ns, ok)
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Fatal("parsed a non-benchmark line")
+	}
+	if _, _, ok := parseLine("BenchmarkX-8   1   12 MB/s"); ok {
+		t.Fatal("parsed a line without ns/op")
+	}
+}
+
+func TestParseAveragesRepeatedCounts(t *testing.T) {
+	m, err := parse(strings.NewReader(
+		"BenchmarkA-8 1 100 ns/op\nBenchmarkA-8 1 400 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric mean of 100 and 400 is 200.
+	if math.Abs(m["BenchmarkA-8"]-200) > 1e-9 {
+		t.Fatalf("mean = %v, want 200", m["BenchmarkA-8"])
+	}
+}
+
+func TestGateNoOpChangePasses(t *testing.T) {
+	re := regexp.MustCompile(`^Benchmark(Real|FileStore)`)
+	base := write(t, "base.txt", baseOut)
+	head := write(t, "head.txt", baseOut)
+	code, out := gate(base, head, 1.20, re)
+	if code != 0 {
+		t.Fatalf("no-op change failed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "**1.000**") {
+		t.Fatalf("summary missing PASS/geomean:\n%s", out)
+	}
+	if !strings.Contains(out, "| BenchmarkRealSort/repl6-split-8 |") {
+		t.Fatalf("summary table missing benchmark row:\n%s", out)
+	}
+	// Simulator benchmarks are not gated.
+	if strings.Contains(out, "Figure5") {
+		t.Fatalf("gate included non-real-engine benchmark:\n%s", out)
+	}
+}
+
+func TestGateRegressionFails(t *testing.T) {
+	re := regexp.MustCompile(`^Benchmark(Real|FileStore)`)
+	base := write(t, "base.txt", baseOut)
+	regressed := strings.ReplaceAll(baseOut, "68000000", "95000000")
+	regressed = strings.ReplaceAll(regressed, "50000000", "70000000")
+	regressed = strings.ReplaceAll(regressed, "34000000", "48000000")
+	head := write(t, "head.txt", regressed)
+	code, out := gate(base, head, 1.20, re)
+	if code != 1 {
+		t.Fatalf("~40%% regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("summary missing FAIL:\n%s", out)
+	}
+}
+
+func TestGateWithinThresholdPasses(t *testing.T) {
+	re := regexp.MustCompile(`^Benchmark(Real|FileStore)`)
+	base := write(t, "base.txt", baseOut)
+	// ~10% slower everywhere: under the 20% gate.
+	slower := strings.ReplaceAll(baseOut, "68000000", "74800000")
+	slower = strings.ReplaceAll(slower, "50000000", "55000000")
+	slower = strings.ReplaceAll(slower, "34000000", "37400000")
+	head := write(t, "head.txt", slower)
+	code, out := gate(base, head, 1.20, re)
+	if code != 0 {
+		t.Fatalf("10%% regression failed the 20%% gate:\n%s", out)
+	}
+}
+
+func TestGateMissingBaselineSkips(t *testing.T) {
+	re := regexp.MustCompile(`^Benchmark(Real|FileStore)`)
+	head := write(t, "head.txt", baseOut)
+	code, out := gate(filepath.Join(t.TempDir(), "absent.txt"), head, 1.20, re)
+	if code != 0 {
+		t.Fatalf("missing baseline should skip, got code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "gate skipped") {
+		t.Fatalf("summary should say skipped:\n%s", out)
+	}
+	// Baseline with no gated benchmarks skips too.
+	simOnly := write(t, "sim.txt", "BenchmarkFigure5_NoFluctuation-8 1 900000000 ns/op\n")
+	code, out = gate(simOnly, head, 1.20, re)
+	if code != 0 || !strings.Contains(out, "gate skipped") {
+		t.Fatalf("sim-only baseline should skip, got code %d:\n%s", code, out)
+	}
+}

@@ -13,6 +13,7 @@ package bufmgr
 import (
 	"fmt"
 
+	"github.com/memadapt/masort/internal/memarb"
 	"github.com/memadapt/masort/internal/sim"
 )
 
@@ -112,7 +113,8 @@ func (b *Pool) checkInvariant() {
 // if no headroom exists (the request is rejected, matching the observation
 // that granting it could never be satisfied).
 func (b *Pool) Request(p *sim.Proc, want int) int {
-	headroom := b.total - b.floor - b.reqGranted - b.pendingDemand
+	pol := memarb.Policy{Total: b.total, Floor: b.floor}
+	headroom := pol.Headroom(1, b.reqGranted, b.pendingDemand)
 	if want > headroom {
 		want = headroom
 	}
@@ -175,11 +177,8 @@ func (b *Pool) tryGrant() {
 // the pool minus everything granted or promised to competing requests,
 // never below the floor.
 func (b *Pool) Target() int {
-	t := b.total - b.reqGranted - b.pendingDemand
-	if t < b.floor {
-		t = b.floor
-	}
-	return t
+	pol := memarb.Policy{Total: b.total, Floor: b.floor}
+	return pol.Share(1, b.reqGranted, b.pendingDemand)
 }
 
 // Pressure returns how many pages the operator holds above its target, i.e.

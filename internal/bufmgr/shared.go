@@ -3,6 +3,7 @@ package bufmgr
 import (
 	"fmt"
 
+	"github.com/memadapt/masort/internal/memarb"
 	"github.com/memadapt/masort/internal/sim"
 )
 
@@ -14,9 +15,10 @@ import (
 //
 // Policy: every registered operator is entitled to an equal share of
 // whatever the competing requests have not taken, floored at the operator
-// minimum. Registration, completion and request arrivals all shift the
-// shares; operators observe the change through their handles exactly as
-// with the single-operator Pool.
+// minimum (memarb.Policy.Share — the arithmetic is shared with the real
+// engine's masort.Pool). Registration, completion and request arrivals all
+// shift the shares; operators observe the change through their handles
+// exactly as with the single-operator Pool.
 type SharedPool struct {
 	s       *sim.Sim
 	total   int
@@ -49,6 +51,11 @@ func NewShared(s *sim.Sim, total, floorPerOp int) *SharedPool {
 // Total returns the pool size.
 func (sp *SharedPool) Total() int { return sp.total }
 
+// policy is the arbitration arithmetic shared with masort.Pool.
+func (sp *SharedPool) policy() memarb.Policy {
+	return memarb.Policy{Total: sp.total, Floor: sp.floor}
+}
+
 // Ops returns the number of registered operators.
 func (sp *SharedPool) Ops() int { return len(sp.ops) }
 
@@ -67,7 +74,7 @@ func (sp *SharedPool) check() {
 // operator must Unregister when done. Registration fails if admitting one
 // more operator would leave someone below the floor.
 func (sp *SharedPool) Register() (*OpHandle, error) {
-	if (len(sp.ops)+1)*sp.floor > sp.total {
+	if !sp.policy().CanAdmit(len(sp.ops)) {
 		return nil, fmt.Errorf("bufmgr: admitting operator %d would break the %d-page floor",
 			len(sp.ops)+1, sp.floor)
 	}
@@ -94,14 +101,7 @@ func (sp *SharedPool) Unregister(h *OpHandle) {
 
 // share is the per-operator entitlement.
 func (sp *SharedPool) share() int {
-	if len(sp.ops) == 0 {
-		return 0
-	}
-	s := (sp.total - sp.reqHeld - sp.pending) / len(sp.ops)
-	if s < sp.floor {
-		s = sp.floor
-	}
-	return s
+	return sp.policy().Share(len(sp.ops), sp.reqHeld, sp.pending)
 }
 
 // Request asks for want pages for a competing transaction, blocking until
@@ -109,7 +109,7 @@ func (sp *SharedPool) share() int {
 // Operators' registered reclaimers are invoked to free clean buffers
 // immediately.
 func (sp *SharedPool) Request(p *sim.Proc, want int) int {
-	headroom := sp.total - len(sp.ops)*sp.floor - sp.reqHeld - sp.pending
+	headroom := sp.policy().Headroom(len(sp.ops), sp.reqHeld, sp.pending)
 	if want > headroom {
 		want = headroom
 	}

@@ -44,9 +44,9 @@ type mergeEngine struct {
 	active  *mergeStep
 	curStep *mergeStep // step whose buffers the reclaimer may take
 
-	outBuf   Page  // output page under construction
-	outSent  Page  // page handed to Append, reusable once outTok completes
-	outFree  Page  // recycled page buffer for the next outBuf
+	outBuf   Page // output page under construction
+	outSent  Page // page handed to Append, reusable once outTok completes
+	outFree  Page // recycled page buffer for the next outBuf
 	outTok   Token
 	mruClock int64
 	cmp      int64 // comparison charges accumulated between flushes

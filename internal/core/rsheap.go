@@ -42,7 +42,6 @@ func (h *rsHeap) TakeCompares() int64 {
 	return c
 }
 
-
 // Push inserts an item.
 func (h *rsHeap) Push(it rsItem) {
 	var idx int32

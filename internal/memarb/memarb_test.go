@@ -1,0 +1,93 @@
+package memarb
+
+import "testing"
+
+func TestShareEqualSplit(t *testing.T) {
+	p := Policy{Total: 100, Floor: 3}
+	if got := p.Share(4, 0, 0); got != 25 {
+		t.Fatalf("Share(4 ops, idle pool) = %d, want 25", got)
+	}
+	if got := p.Share(4, 20, 20); got != 15 {
+		t.Fatalf("Share(4 ops, 40 reserved+pending) = %d, want 15", got)
+	}
+	if got := p.Share(0, 0, 0); got != 0 {
+		t.Fatalf("Share(0 ops) = %d, want 0", got)
+	}
+}
+
+func TestShareFloor(t *testing.T) {
+	p := Policy{Total: 100, Floor: 10}
+	// 95 pages reserved: 5/4 = 1 < floor.
+	if got := p.Share(4, 95, 0); got != 10 {
+		t.Fatalf("Share under heavy reservation = %d, want floor 10", got)
+	}
+}
+
+func TestShareAtRemainder(t *testing.T) {
+	p := Policy{Total: 103, Floor: 3}
+	// 103/4 = 25 rem 3: operators 0..2 get 26, operator 3 gets 25.
+	want := []int{26, 26, 26, 25}
+	sum := 0
+	for i, w := range want {
+		got := p.ShareAt(i, 4, 0, 0)
+		if got != w {
+			t.Fatalf("ShareAt(%d) = %d, want %d", i, got, w)
+		}
+		sum += got
+	}
+	if sum != 103 {
+		t.Fatalf("ShareAt sums to %d, want full utilization 103", sum)
+	}
+}
+
+func TestShareAtNeverBelowShare(t *testing.T) {
+	// ShareAt refines Share: for every operator it is Share or Share+1
+	// (before flooring), and never below the floor.
+	p := Policy{Total: 64, Floor: 3}
+	for ops := 1; ops <= 8; ops++ {
+		for reserved := 0; reserved <= 64; reserved += 7 {
+			base := p.Share(ops, reserved, 0)
+			for i := 0; i < ops; i++ {
+				got := p.ShareAt(i, ops, reserved, 0)
+				if got < base || got > base+1 {
+					t.Fatalf("ShareAt(%d, ops=%d, reserved=%d) = %d, base %d",
+						i, ops, reserved, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestShareAtDeterministicReclaim(t *testing.T) {
+	// Shrinking avail takes the remainder page from the youngest first.
+	p := Policy{Total: 10, Floor: 3}
+	// avail 10, 3 ops: 4,3,3. avail 9: 3,3,3.
+	if p.ShareAt(0, 3, 0, 0) != 4 || p.ShareAt(2, 3, 0, 0) != 3 {
+		t.Fatalf("remainder should go to the oldest operator")
+	}
+	if p.ShareAt(0, 3, 1, 0) != 3 {
+		t.Fatalf("oldest loses its extra page when avail shrinks")
+	}
+}
+
+func TestCanAdmit(t *testing.T) {
+	p := Policy{Total: 12, Floor: 3}
+	for ops := 0; ops < 3; ops++ {
+		if !p.CanAdmit(ops) {
+			t.Fatalf("CanAdmit(%d) = false, want true", ops)
+		}
+	}
+	if p.CanAdmit(4) {
+		t.Fatalf("CanAdmit(4) = true; 5*3 > 12")
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	p := Policy{Total: 50, Floor: 5}
+	if got := p.Headroom(4, 10, 5); got != 50-20-10-5 {
+		t.Fatalf("Headroom = %d, want 15", got)
+	}
+	if got := p.Headroom(10, 0, 0); got != 0 {
+		t.Fatalf("Headroom at exact floor coverage = %d, want 0", got)
+	}
+}

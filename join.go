@@ -21,16 +21,24 @@ func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mem, finish, err := memContract(ctx, &o)
+	if err != nil {
+		return nil, err
+	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, meter)
+	env := newEnv(ctx, o, mem, meter)
 	res, err := core.SortMergeJoin(env,
 		&pageInput{it: left, size: o.PageRecords},
 		&pageInput{it: right, size: o.PageRecords}, cfg)
 	if err != nil {
+		finish(nil)
 		return nil, wrapCtxErr(env.Ctx, err)
 	}
 	js := res.Stats
-	return &Result{
+	out := &Result{
 		store:    o.Store,
 		run:      res.Result,
 		Pages:    res.Pages,
@@ -38,5 +46,7 @@ func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, e
 		Stats:    js.SortStats,
 		Join:     &js,
 		Counters: meter.counters(),
-	}, nil
+	}
+	finish(out)
+	return out, nil
 }

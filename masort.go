@@ -67,6 +67,13 @@ type Options struct {
 	// Budget is the adjustable memory contract; default: fixed 64 pages.
 	Budget *Budget
 
+	// Pool, when set, runs the operator under a process-wide shared pool
+	// instead of Budget (which is then ignored): the operator is admitted
+	// at start, entitled to an arbitrated equal share while running, and
+	// detached at the end, with its view of the arbitration reported in
+	// Result.Pool. See WithPool.
+	Pool *Pool
+
 	// Store holds runs; default: NewMemStore(). Use NewFileStore for
 	// datasets larger than memory.
 	Store RunStore
@@ -135,20 +142,39 @@ func (o Options) build() (core.SortConfig, Options, error) {
 }
 
 // newEnv assembles the core execution environment shared by every operator
-// entry point. A nil ctx is treated as context.Background().
-func newEnv(ctx context.Context, o Options, meter *counterMeter) *core.Env {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// entry point.
+func newEnv(ctx context.Context, o Options, mem core.Broker, meter *counterMeter) *core.Env {
 	start := time.Now()
 	return &core.Env{
 		Ctx:     ctx,
 		Store:   o.Store,
-		Mem:     o.Budget,
+		Mem:     mem,
 		Meter:   meter,
 		Now:     func() time.Duration { return time.Since(start) },
 		OnEvent: o.OnEvent,
 	}
+}
+
+// memContract resolves the operator's memory broker. Under a Pool the
+// operator is admitted first (which may queue until capacity frees, or
+// fail — ErrPoolSaturated under RejectWhenFull, the context's error if
+// canceled while queued). The returned finish func must be called exactly
+// once when the operator is done: it detaches from the pool and, when
+// passed a non-nil Result, attaches the operator's PoolStats to it.
+func memContract(ctx context.Context, o *Options) (core.Broker, func(*Result), error) {
+	if o.Pool == nil {
+		return o.Budget, func(*Result) {}, nil
+	}
+	h, err := o.Pool.admit(ctx)
+	if err != nil {
+		return nil, nil, wrapCtxErr(ctx, err)
+	}
+	return h, func(res *Result) {
+		st := o.Pool.unregister(h)
+		if res != nil {
+			res.Pool = &st
+		}
+	}, nil
 }
 
 // Stats reports what a sort or join did.
@@ -200,21 +226,31 @@ func sortWith(ctx context.Context, input Iterator, opt Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mem, finish, err := memContract(ctx, &o)
+	if err != nil {
+		return nil, err
+	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, meter)
+	env := newEnv(ctx, o, mem, meter)
 	env.In = &pageInput{it: input, size: o.PageRecords}
 	res, err := core.ExternalSort(env, cfg)
 	if err != nil {
+		finish(nil)
 		return nil, wrapCtxErr(env.Ctx, err)
 	}
-	return &Result{
+	out := &Result{
 		store:    o.Store,
 		run:      res.Result,
 		Pages:    res.Pages,
 		Tuples:   res.Tuples,
 		Stats:    res.Stats,
 		Counters: meter.counters(),
-	}, nil
+	}
+	finish(out)
+	return out, nil
 }
 
 // SortSlice sorts records in external fashion and returns the sorted slice —

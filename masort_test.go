@@ -1,6 +1,7 @@
 package masort
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -58,7 +59,7 @@ func assertPermutation(t *testing.T, in, out []Record) {
 
 func TestSortDefaults(t *testing.T) {
 	in := randomRecords(50_000, 1, 0)
-	out, err := SortSlice(t.Context(), in, WithPageRecords(64), WithBudget(NewBudget(16)))
+	out, err := SortSlice(context.Background(), in, WithPageRecords(64), WithBudget(NewBudget(16)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSortAllOptionCombinations(t *testing.T) {
 					store := NewMemStore()
 					// The struct shim: a whole Options value through one
 					// functional option.
-					out, err := SortSlice(t.Context(), in, WithOptions(Options{
+					out, err := SortSlice(context.Background(), in, WithOptions(Options{
 						Method: m, Merge: ms, Adaptation: ad,
 						PageRecords: 32, Budget: NewBudget(8), Store: store,
 					}))
@@ -95,11 +96,11 @@ func TestSortAllOptionCombinations(t *testing.T) {
 }
 
 func TestSortEmptyAndTiny(t *testing.T) {
-	out, err := SortSlice(t.Context(), nil)
+	out, err := SortSlice(context.Background(), nil)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty: %v %d", err, len(out))
 	}
-	out, err = SortSlice(t.Context(), []Record{{Key: 2}, {Key: 1}})
+	out, err = SortSlice(context.Background(), []Record{{Key: 2}, {Key: 1}})
 	if err != nil || len(out) != 2 || out[0].Key != 1 {
 		t.Fatalf("tiny: %v %v", err, out)
 	}
@@ -111,7 +112,7 @@ func TestSortPayloadsPreserved(t *testing.T) {
 		{Key: 1, Payload: []byte("one")},
 		{Key: 2, Payload: []byte("two")},
 	}
-	out, err := SortSlice(t.Context(), in)
+	out, err := SortSlice(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSortPayloadsPreserved(t *testing.T) {
 
 func TestSortStatsPopulated(t *testing.T) {
 	in := randomRecords(20_000, 3, 0)
-	res, err := Sort(t.Context(), NewSliceIterator(in), WithPageRecords(64), WithBudget(NewBudget(10)))
+	res, err := Sort(context.Background(), NewSliceIterator(in), WithPageRecords(64), WithBudget(NewBudget(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSortStatsPopulated(t *testing.T) {
 }
 
 func TestResultDoubleFree(t *testing.T) {
-	res, err := Sort(t.Context(), NewSliceIterator(randomRecords(100, 4, 0)))
+	res, err := Sort(context.Background(), NewSliceIterator(randomRecords(100, 4, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSortUnderConcurrentBudgetChanges(t *testing.T) {
 					time.Sleep(200 * time.Microsecond)
 				}
 			}()
-			out, err := SortSlice(t.Context(), in,
+			out, err := SortSlice(context.Background(), in,
 				WithAdaptation(ad), WithPageRecords(64), WithBudget(budget))
 			close(stop)
 			wg.Wait()
@@ -201,7 +202,7 @@ func TestSortWithFileStore(t *testing.T) {
 	}
 	defer store.Close()
 	in := randomRecords(30_000, 6, 16)
-	out, err := SortSlice(t.Context(), in,
+	out, err := SortSlice(context.Background(), in,
 		WithPageRecords(64), WithBudget(NewBudget(12)), WithStore(store))
 	if err != nil {
 		t.Fatal(err)
@@ -319,16 +320,16 @@ func TestBudgetSemantics(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	if _, err := SortSlice(t.Context(), nil, WithMethod(Method(9))); err == nil {
+	if _, err := SortSlice(context.Background(), nil, WithMethod(Method(9))); err == nil {
 		t.Fatal("bad method must fail")
 	}
-	if _, err := SortSlice(t.Context(), nil, WithMergeStrategy(MergeStrategy(9))); err == nil {
+	if _, err := SortSlice(context.Background(), nil, WithMergeStrategy(MergeStrategy(9))); err == nil {
 		t.Fatal("bad merge must fail")
 	}
-	if _, err := SortSlice(t.Context(), nil, WithAdaptation(Adaptation(9))); err == nil {
+	if _, err := SortSlice(context.Background(), nil, WithAdaptation(Adaptation(9))); err == nil {
 		t.Fatal("bad adaptation must fail")
 	}
-	if _, err := SortSlice(t.Context(), nil, WithOptions(Options{Method: Method(9)})); err == nil {
+	if _, err := SortSlice(context.Background(), nil, WithOptions(Options{Method: Method(9)})); err == nil {
 		t.Fatal("bad method through the struct shim must fail")
 	}
 }
@@ -368,7 +369,7 @@ func TestJoinPublicAPI(t *testing.T) {
 	for _, x := range l {
 		want += counts[x.Key]
 	}
-	res, err := Join(t.Context(), NewSliceIterator(l), NewSliceIterator(r),
+	res, err := Join(context.Background(), NewSliceIterator(l), NewSliceIterator(r),
 		WithPageRecords(32), WithBudget(NewBudget(10)))
 	if err != nil {
 		t.Fatal(err)
@@ -407,7 +408,7 @@ func TestPropertyPublicSort(t *testing.T) {
 		for i, k := range keys {
 			recs[i] = Record{Key: k}
 		}
-		out, err := SortSlice(t.Context(), recs,
+		out, err := SortSlice(context.Background(), recs,
 			WithPageRecords(int(prec)%64+1),
 			WithBudget(NewBudget(int(budget)%32+3)))
 		if err != nil {
@@ -465,7 +466,7 @@ func TestSortFileStorePayloadIntegrity(t *testing.T) {
 		}
 		in[i] = Record{Key: k, Payload: p}
 	}
-	res, err := Sort(t.Context(), NewSliceIterator(in),
+	res, err := Sort(context.Background(), NewSliceIterator(in),
 		WithPageRecords(64), WithBudget(NewBudget(8)), WithStore(store))
 	if err != nil {
 		t.Fatal(err)

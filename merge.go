@@ -89,18 +89,28 @@ func Merge(ctx context.Context, store RunStore, ids []RunID, opts ...Option) (*R
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mem, finish, err := memContract(ctx, &o)
+	if err != nil {
+		return nil, err
+	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, meter)
+	env := newEnv(ctx, o, mem, meter)
 	res, err := core.MergeExisting(env, cfg, ids)
 	if err != nil {
+		finish(nil)
 		return nil, wrapCtxErr(env.Ctx, err)
 	}
-	return &Result{
+	out := &Result{
 		store:    o.Store,
 		run:      res.Result,
 		Pages:    res.Pages,
 		Tuples:   res.Tuples,
 		Stats:    res.Stats,
 		Counters: meter.counters(),
-	}, nil
+	}
+	finish(out)
+	return out, nil
 }

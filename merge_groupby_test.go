@@ -1,6 +1,7 @@
 package masort
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -47,7 +48,7 @@ func TestMergeExistingRuns(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	res, err := Merge(t.Context(), store, ids, WithPageRecords(32), WithBudget(NewBudget(5)))
+	res, err := Merge(context.Background(), store, ids, WithPageRecords(32), WithBudget(NewBudget(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMergeSingleAndZeroRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Merge(t.Context(), store, []RunID{id})
+	res, err := Merge(context.Background(), store, []RunID{id})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestMergeSingleAndZeroRuns(t *testing.T) {
 	if len(out) != 50 {
 		t.Fatalf("single-run merge: %d records", len(out))
 	}
-	res0, err := Merge(t.Context(), store, nil)
+	res0, err := Merge(context.Background(), store, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestMergeUnderBudgetChanges(t *testing.T) {
 			}
 		}
 	}()
-	res, err := Merge(t.Context(), store, ids, WithPageRecords(16), WithBudget(budget))
+	res, err := Merge(context.Background(), store, ids, WithPageRecords(16), WithBudget(budget))
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -151,7 +152,7 @@ func TestGroupByCount(t *testing.T) {
 		recs = append(recs, Record{Key: k})
 		want[k]++
 	}
-	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &CountAggregator{},
+	res, err := GroupBy(context.Background(), NewSliceIterator(recs), &CountAggregator{},
 		WithPageRecords(64), WithBudget(NewBudget(8)))
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +183,7 @@ func TestGroupByDistinct(t *testing.T) {
 		{Key: 2, Payload: []byte("b2")},
 		{Key: 1, Payload: []byte("a2")},
 	}
-	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &FirstAggregator{})
+	res, err := GroupBy(context.Background(), NewSliceIterator(recs), &FirstAggregator{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestGroupByFuncSum(t *testing.T) {
 		OnAdd:    func(r Record) { sum += int(r.Payload[0]) },
 		OnFinish: func(Key) []byte { return []byte(fmt.Sprintf("%d", sum)) },
 	}
-	res, err := GroupBy(t.Context(), NewSliceIterator(recs), agg)
+	res, err := GroupBy(context.Background(), NewSliceIterator(recs), agg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestGroupByFuncSum(t *testing.T) {
 }
 
 func TestGroupByEmpty(t *testing.T) {
-	res, err := GroupBy(t.Context(), NewSliceIterator(nil), &CountAggregator{})
+	res, err := GroupBy(context.Background(), NewSliceIterator(nil), &CountAggregator{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestGroupByUnderBudgetChanges(t *testing.T) {
 			}
 		}
 	}()
-	res, err := GroupBy(t.Context(), NewSliceIterator(recs), &CountAggregator{},
+	res, err := GroupBy(context.Background(), NewSliceIterator(recs), &CountAggregator{},
 		WithPageRecords(64), WithBudget(budget))
 	close(stop)
 	if err != nil {

@@ -38,6 +38,16 @@ func WithBudget(b *Budget) Option {
 	return func(o *Options) { o.Budget = b }
 }
 
+// WithPool runs the operator under a process-wide shared Pool instead of a
+// private Budget: the operator is admitted at start (which may queue or
+// fail, see AdmissionPolicy), receives an equal share of the pool
+// arbitrated against all concurrently running operators and application
+// reservations, and detaches when it finishes. The operator's view of the
+// arbitration is reported in Result.Pool. WithPool overrides WithBudget.
+func WithPool(p *Pool) Option {
+	return func(o *Options) { o.Pool = p }
+}
+
 // WithStore sets the run store (default NewMemStore; use NewFileStore for
 // datasets larger than memory).
 func WithStore(s RunStore) Option {

@@ -22,6 +22,11 @@ type Result struct {
 	// result tuples); nil for results of Sort, GroupBy and Merge.
 	Join *JoinStats
 
+	// Pool reports how shared-pool arbitration treated the operator
+	// (admission wait, grants, blocking waits); nil unless the operator
+	// ran under WithPool.
+	Pool *PoolStats
+
 	// Counters tallies CPU-relevant operations.
 	Counters Counters
 

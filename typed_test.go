@@ -55,7 +55,7 @@ func TestSortSliceTRoundTrip(t *testing.T) {
 		}
 	}
 	store := NewMemStore()
-	out, err := SortSliceT(t.Context(), in, orderCodec,
+	out, err := SortSliceT(context.Background(), in, orderCodec,
 		WithPageRecords(64), WithBudget(NewBudget(8)), WithStore(store))
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestSortTStreaming(t *testing.T) {
 			}
 		}
 	}
-	res, err := SortT(t.Context(), input, orderCodec,
+	res, err := SortT(context.Background(), input, orderCodec,
 		WithPageRecords(32), WithBudget(NewBudget(4)))
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestSortTInputError(t *testing.T) {
 		yield(order{}, boom)
 	}
 	store := NewMemStore()
-	_, err := SortT(t.Context(), input, orderCodec,
+	_, err := SortT(context.Background(), input, orderCodec,
 		WithPageRecords(32), WithBudget(NewBudget(4)), WithStore(store))
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -153,7 +153,7 @@ func TestSortTBadOption(t *testing.T) {
 	input := func(yield func(order, error) bool) {
 		yield(order{ID: 1}, nil)
 	}
-	if _, err := SortT(t.Context(), input, orderCodec, WithMethod(Method(9))); err == nil {
+	if _, err := SortT(context.Background(), input, orderCodec, WithMethod(Method(9))); err == nil {
 		t.Fatal("bad option must fail")
 	}
 	// Canceled context: Sort errors after consuming some input; the stop
@@ -172,7 +172,7 @@ func TestKeyOnlyCodec(t *testing.T) {
 		KeyFunc:    func(v uint64) Key { return v },
 		DecodeFunc: func(k Key, _ []byte) (uint64, error) { return k, nil },
 	}
-	out, err := SortSliceT(t.Context(), []uint64{5, 3, 9, 1, 1, 7}, codec)
+	out, err := SortSliceT(context.Background(), []uint64{5, 3, 9, 1, 1, 7}, codec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestKeyOnlyCodec(t *testing.T) {
 // TestResultAllSeq checks the Seq2 view of an untyped Result, including
 // early break.
 func TestResultAllSeq(t *testing.T) {
-	res, err := Sort(t.Context(), NewSliceIterator(randomRecords(5000, 9, 4)),
+	res, err := Sort(context.Background(), NewSliceIterator(randomRecords(5000, 9, 4)),
 		WithPageRecords(64), WithBudget(NewBudget(8)))
 	if err != nil {
 		t.Fatal(err)
