@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"github.com/memadapt/masort/internal/experiments"
+	"github.com/memadapt/masort/trace"
 )
 
 func benchOpts() experiments.Options {
@@ -254,6 +255,29 @@ func BenchmarkRealSort(b *testing.B) {
 			b.SetBytes(int64(len(recs) * 8))
 		})
 	}
+}
+
+// BenchmarkRealSortTraced measures the same sort as
+// BenchmarkRealSort/repl6-split with a live Metrics tracer attached; the
+// head-to-head pair quantifies what observability costs when it is ON. (The
+// cost when it is OFF — the nil-tracer path of BenchmarkRealSort itself — is
+// gated in CI against the pre-tracing baseline.)
+func BenchmarkRealSortTraced(b *testing.B) {
+	recs := benchRecords(200_000)
+	m := trace.NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Sort(context.Background(), NewSliceIterator(recs),
+			WithPageRecords(256), WithBudget(NewBudget(32)),
+			WithStore(NewMemStore()), WithTracer(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs) * 8))
 }
 
 // BenchmarkRealSortAdaptive measures sorting while the budget fluctuates.

@@ -11,6 +11,11 @@
 //
 // The -script flag schedules budget changes at input-progress milestones, so
 // adaptation behavior is reproducible; -stats prints what the sort did.
+//
+// Observability: -listen ADDR serves a Prometheus /metrics endpoint and a
+// /debug/events flight recorder while the sort runs (add -hold to keep
+// serving afterwards, for scraping a finished run); -trace FILE writes a
+// Chrome trace_event JSON timeline loadable in chrome://tracing.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -27,6 +34,7 @@ import (
 	"strings"
 
 	"github.com/memadapt/masort"
+	"github.com/memadapt/masort/trace"
 )
 
 type scriptedChange struct {
@@ -95,19 +103,22 @@ func keyOf(mode string, line []byte) uint64 {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input file (default stdin)")
-		outPath = flag.String("out", "", "output file (default stdout)")
-		keyMode = flag.String("key", "prefix", "sort key: prefix | number | hash")
-		budget  = flag.Int("budget", 64, "memory budget in pages")
-		prec    = flag.Int("page-records", 256, "records per page")
-		method  = flag.String("method", "repl", "split method: repl | quick")
-		block   = flag.Int("block", 6, "replacement-selection block pages")
-		adapt   = flag.String("adapt", "split", "merge adaptation: split | page | susp")
-		merge   = flag.String("merge", "opt", "merge strategy: opt | naive")
-		script  = flag.String("script", "", "budget changes, e.g. \"25%:-40,50%:+20\" (percent of input records)")
-		tmpDir  = flag.String("tmp", "", "run-file directory (default: in-memory store)")
-		stats   = flag.Bool("stats", false, "print sort statistics to stderr")
-		events  = flag.Bool("events", false, "print adaptation events to stderr")
+		in       = flag.String("in", "", "input file (default stdin)")
+		outPath  = flag.String("out", "", "output file (default stdout)")
+		keyMode  = flag.String("key", "prefix", "sort key: prefix | number | hash")
+		budget   = flag.Int("budget", 64, "memory budget in pages")
+		prec     = flag.Int("page-records", 256, "records per page")
+		method   = flag.String("method", "repl", "split method: repl | quick")
+		block    = flag.Int("block", 6, "replacement-selection block pages")
+		adapt    = flag.String("adapt", "split", "merge adaptation: split | page | susp")
+		merge    = flag.String("merge", "opt", "merge strategy: opt | naive")
+		script   = flag.String("script", "", "budget changes, e.g. \"25%:-40,50%:+20\" (percent of input records)")
+		tmpDir   = flag.String("tmp", "", "run-file directory (default: in-memory store)")
+		stats    = flag.Bool("stats", false, "print sort statistics to stderr")
+		events   = flag.Bool("events", false, "print adaptation events to stderr")
+		listen   = flag.String("listen", "", "serve Prometheus /metrics and /debug/events on this address (e.g. :9090)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
+		hold     = flag.Bool("hold", false, "with -listen: keep serving after the sort completes, until interrupted")
 	)
 	flag.Parse()
 
@@ -190,6 +201,48 @@ func main() {
 		}))
 	}
 
+	// Observability: -listen serves live metrics and a flight recorder over
+	// HTTP; -trace captures the whole event stream as a Chrome trace file.
+	var tracers []masort.Tracer
+	if *listen != "" {
+		metrics := trace.NewMetrics()
+		ring := trace.NewRing(512)
+		tracers = append(tracers, metrics, ring)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		mux.Handle("/debug/events", ring.Handler())
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "masort: serving http://%s/metrics and /debug/events\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+	finishTrace := func() {}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriter(f)
+		chrome := trace.NewChrome(bw)
+		tracers = append(tracers, chrome)
+		finishTrace = func() {
+			if err := chrome.Close(); err != nil {
+				fail(err)
+			}
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if t := trace.Multi(tracers...); t != nil {
+		opts = append(opts, masort.WithTracer(t))
+	}
+
 	// Ctrl-C cancels the sort at its next adaptation point; all run
 	// storage is released before exiting.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -259,5 +312,16 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"sorted %d records: %d runs, %d merge steps, %d splits, %d combines, %d suspensions, %d extra reads, %v total\n",
 			res.Tuples, s.Runs, s.MergeSteps, s.Splits, s.Combines, s.Suspensions, s.ExtraMergeReads, s.Response)
+		if len(tracers) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"store I/O: %d reads (%d bytes, %v), %d writes (%d bytes, %v)\n",
+				s.StoreReads, s.BytesRead, s.ReadLatency, s.StoreWrites, s.BytesWritten, s.WriteLatency)
+		}
+	}
+	finishTrace()
+
+	if *listen != "" && *hold {
+		fmt.Fprintln(os.Stderr, "masort: sort complete; still serving (interrupt to exit)")
+		<-ctx.Done()
 	}
 }

@@ -6,8 +6,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/memadapt/masort/internal/pagecodec"
+	"github.com/memadapt/masort/trace"
 )
 
 // DefaultReadConcurrency is how many page reads a FileStore executes in
@@ -53,6 +56,13 @@ type FileStore struct {
 	// a FileStoreOption) so the writer goroutines see it safely.
 	failWrite func(off int64, b []byte) error
 
+	// tr, when set, receives a queue-depth sample (KindStoreQueue) on every
+	// enqueue/dequeue of the async write pipeline, summed across runs. Set
+	// at construction (WithStoreTracer) so the writer goroutines see it
+	// safely; qdepth is the running depth.
+	tr     trace.Tracer
+	qdepth atomic.Int64
+
 	mu   sync.Mutex
 	runs map[RunID]*fileRun
 	next RunID
@@ -69,6 +79,25 @@ func WithReadConcurrency(n int) FileStoreOption {
 			s.readSem = make(chan struct{}, n)
 		}
 	}
+}
+
+// WithStoreTracer attaches a tracer to the store: the async write
+// pipeline's queue depth (all runs summed) is sampled on every enqueue and
+// dequeue as KindStoreQueue events — a persistent nonzero depth means the
+// disk is the bottleneck and Append back-pressure is imminent. Per-read and
+// per-write latency events are emitted by the operator's WithTracer layer,
+// not here, so they can be attributed to the operator.
+func WithStoreTracer(t Tracer) FileStoreOption {
+	return func(s *FileStore) { s.tr = t }
+}
+
+// noteQueue moves the sampled write-queue depth by delta and emits it.
+func (s *FileStore) noteQueue(delta int64) {
+	if s.tr == nil {
+		return
+	}
+	d := s.qdepth.Add(delta)
+	emitSafe(s.tr, trace.Event{Kind: trace.KindStoreQueue, Time: time.Now(), Pages: int(d)}, nil)
 }
 
 // fileRun is one run file plus its page index and write pipeline. offsets
@@ -221,6 +250,7 @@ func (s *FileStore) runWriter(r *fileRun) {
 			job.tok.err = werr
 			close(job.tok.done)
 			s.putBuf(job.buf)
+			s.noteQueue(-1)
 			continue
 		}
 		var err error
@@ -246,6 +276,7 @@ func (s *FileStore) runWriter(r *fileRun) {
 		job.tok.err = err
 		close(job.tok.done)
 		s.putBuf(job.buf)
+		s.noteQueue(-1)
 	}
 }
 
@@ -289,6 +320,7 @@ func (s *FileStore) Append(id RunID, pages []Page) (Token, error) {
 	r.appends.Add(1)
 	r.mu.Unlock()
 	tok := &fsToken{done: make(chan struct{})}
+	s.noteQueue(1) // before the send: the depth must never read negative
 	r.wq <- fsWriteJob{off: start, buf: buf, tok: tok}
 	r.appends.Done()
 	return tok, nil

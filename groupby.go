@@ -70,7 +70,9 @@ func GroupBy(ctx context.Context, input Iterator, agg Aggregator, opts ...Option
 		ctx = context.Background()
 	}
 	opt := applyOptions(opts)
-	sorted, err := sortWith(ctx, input, opt)
+	// The operator announces itself as "groupby"; its trace span covers the
+	// sort stage (the dominant cost), not the two-page aggregation pass.
+	sorted, err := sortNamed(ctx, input, opt, "groupby")
 	if err != nil {
 		return nil, err
 	}
@@ -168,5 +170,6 @@ func GroupBy(ctx context.Context, input Iterator, agg Aggregator, opts ...Option
 		Stats:    sorted.Stats,
 		Pool:     sorted.Pool,
 		Counters: sorted.Counters,
+		Events:   sorted.Events,
 	}, nil
 }

@@ -7,15 +7,23 @@
 // Usage:
 //
 //	benchgate -base base.txt -head bench.txt [-threshold 1.20] [-match RE]
+//	          [-json bench.json]
 //
 // The tool prints a Markdown summary (suitable for $GITHUB_STEP_SUMMARY)
 // and exits 1 when geomean(head/base) > threshold. A missing or empty
 // baseline, or no benchmarks in common, is not a failure — there is
 // nothing to gate against — and exits 0 after saying so.
+//
+// -json additionally writes the head file's benchmarks as a JSON array of
+// {name, ns_per_op, mb_per_s, allocs_per_op} objects — a machine-readable
+// snapshot for committing alongside a PR or archiving as a CI artifact. The
+// JSON is written before the gate decision, so it exists even when the gate
+// fails.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +41,7 @@ func main() {
 		head      = flag.String("head", "", "current benchmark output file")
 		threshold = flag.Float64("threshold", 1.20, "max allowed geomean(head/base) ns/op ratio")
 		match     = flag.String("match", `^Benchmark(Real|FileStore)`, "regexp selecting gated benchmarks")
+		jsonOut   = flag.String("json", "", "also write the head benchmarks as a JSON array to this file")
 	)
 	flag.Parse()
 	if *head == "" {
@@ -43,6 +52,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*head, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
 	}
 	code, out := gate(*base, *head, *threshold, re)
 	fmt.Print(out)
@@ -128,23 +143,113 @@ func parse(r io.Reader) (map[string]float64, error) {
 
 // parseLine parses one `BenchmarkName-P  N  123.4 ns/op ...` line.
 func parseLine(line string) (name string, nsPerOp float64, ok bool) {
-	if !strings.HasPrefix(line, "Benchmark") {
+	name, m, ok := lineMetrics(line)
+	ns, has := m["ns/op"]
+	if !ok || !has || ns <= 0 {
 		return "", 0, false
+	}
+	return name, ns, true
+}
+
+// lineMetrics extracts every value/unit pair from a benchmark output line
+// (`BenchmarkName-P  N  123.4 ns/op  23.5 MB/s  12 allocs/op`).
+func lineMetrics(line string) (name string, metrics map[string]float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
 	}
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return "", 0, false
+		return "", nil, false
 	}
-	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil || v <= 0 {
-				return "", 0, false
-			}
-			return fields[0], v, true
+	metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return fields[0], metrics, len(metrics) > 0
+}
+
+// benchJSON is one benchmark's averaged metrics in the -json report.
+type benchJSON struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// writeJSON parses headPath and writes its benchmarks, name-sorted, as a
+// JSON array. ns/op is averaged geometrically across repeated counts (the
+// same mean the gate compares); MB/s and allocs/op arithmetically, since
+// they may legitimately be zero.
+func writeJSON(headPath, jsonPath string) error {
+	f, err := os.Open(headPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := parseMetrics(f)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+func parseMetrics(r io.Reader) ([]benchJSON, error) {
+	type acc struct {
+		logNs          float64
+		mbs, allocs    float64
+		n, nMbs, nAllo int
+	}
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, m, ok := lineMetrics(sc.Text())
+		if !ok || m["ns/op"] <= 0 {
+			continue
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+		}
+		a.logNs += math.Log(m["ns/op"])
+		a.n++
+		if v, ok := m["MB/s"]; ok {
+			a.mbs += v
+			a.nMbs++
+		}
+		if v, ok := m["allocs/op"]; ok {
+			a.allocs += v
+			a.nAllo++
 		}
 	}
-	return "", 0, false
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	rows := make([]benchJSON, 0, len(accs))
+	for name, a := range accs {
+		row := benchJSON{Name: name, NsPerOp: math.Exp(a.logNs / float64(a.n))}
+		if a.nMbs > 0 {
+			row.MBPerS = a.mbs / float64(a.nMbs)
+		}
+		if a.nAllo > 0 {
+			row.AllocsPerOp = a.allocs / float64(a.nAllo)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, nil
 }
 
 func filterBench(m map[string]float64, match *regexp.Regexp) map[string]float64 {

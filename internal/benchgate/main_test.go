@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -100,6 +101,48 @@ func TestGateWithinThresholdPasses(t *testing.T) {
 	code, out := gate(base, head, 1.20, re)
 	if code != 0 {
 		t.Fatalf("10%% regression failed the 20%% gate:\n%s", out)
+	}
+}
+
+func TestParseMetricsAndWriteJSON(t *testing.T) {
+	rows, err := parseMetrics(strings.NewReader(
+		"BenchmarkA-8 1 100 ns/op 10.0 MB/s 4 allocs/op\n" +
+			"BenchmarkA-8 1 400 ns/op 20.0 MB/s 6 allocs/op\n" +
+			"BenchmarkB-8 1 50 ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "BenchmarkA-8" || rows[1].Name != "BenchmarkB-8" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// ns/op is a geometric mean; MB/s and allocs/op arithmetic means.
+	if math.Abs(rows[0].NsPerOp-200) > 1e-9 || rows[0].MBPerS != 15 || rows[0].AllocsPerOp != 5 {
+		t.Fatalf("BenchmarkA = %+v", rows[0])
+	}
+	if rows[1].NsPerOp != 50 || rows[1].MBPerS != 0 || rows[1].AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkB = %+v", rows[1])
+	}
+
+	head := write(t, "head.txt", baseOut)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(head, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []benchJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 benchmarks, got %+v", got)
+	}
+	for _, r := range got {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("missing ns_per_op in %+v", r)
+		}
 	}
 }
 

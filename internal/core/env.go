@@ -132,6 +132,25 @@ type Env struct {
 	OnEvent func(Event)
 	// Trace optionally receives debug events.
 	Trace func(format string, args ...any)
+
+	// stepSeq numbers merge steps within the operation (1-based); only the
+	// operator goroutine creates steps, so no synchronization is needed.
+	stepSeq int
+	// eventPanics counts OnEvent callbacks that panicked and were recovered.
+	eventPanics int
+}
+
+// nextStep hands out the next merge-step id.
+func (e *Env) nextStep() int {
+	e.stepSeq++
+	return e.stepSeq
+}
+
+// EventPanics reports how many OnEvent callbacks panicked and were
+// recovered during the operation. It is copied into the final stats so
+// callers can tell their observer misbehaved.
+func (e *Env) EventPanics() int {
+	return e.eventPanics
 }
 
 func (e *Env) charge(op Op, n int64) {

@@ -26,6 +26,11 @@ const (
 	EvStepDone
 	// EvPhase: phase transition ("split", "merge", "idle").
 	EvPhase
+	// EvRunDone: the split phase completed one sorted run.
+	EvRunDone
+	// EvStepStart: a merge step began (its fan-in may still change under
+	// dynamic splitting; EvStepDone reports the final one).
+	EvStepStart
 )
 
 // String returns the event kind's name.
@@ -47,6 +52,10 @@ func (k EventKind) String() string {
 		return "step-done"
 	case EvPhase:
 		return "phase"
+	case EvRunDone:
+		return "run-done"
+	case EvStepStart:
+		return "step-start"
 	}
 	return "unknown"
 }
@@ -60,14 +69,25 @@ type Event struct {
 	Granted int
 	// Detail depends on the kind: fan-in of the new step for EvSplitStep,
 	// combined fan-in for EvCombineDone, the step's fan-in for
-	// EvSuspend/EvResume/EvStepDone, and 0 otherwise.
+	// EvSuspend/EvResume/EvStepStart/EvStepDone, the run's length in pages
+	// for EvRunDone, and 0 otherwise.
 	Detail int
+	// Step numbers the merge step the event belongs to, 1-based within the
+	// operation, for EvStepStart/EvStepDone; 0 otherwise. Steps of one
+	// operation interleave under dynamic splitting, so matching
+	// start/done pairs need the id.
+	Step int
 	// Phase carries the phase name for EvPhase events.
 	Phase string
 }
 
 // emit sends an event through the Env's OnEvent hook, if installed.
 func (e *Env) emit(kind EventKind, detail int, phase string) {
+	e.emitStep(kind, detail, 0, phase)
+}
+
+// emitStep is emit with a merge-step id attached.
+func (e *Env) emitStep(kind EventKind, detail, step int, phase string) {
 	if e.OnEvent == nil {
 		return
 	}
@@ -76,12 +96,25 @@ func (e *Env) emit(kind EventKind, detail int, phase string) {
 		target = e.Mem.Target()
 		granted = e.Mem.Granted()
 	}
-	e.OnEvent(Event{
+	e.deliver(Event{
 		Kind:    kind,
 		At:      e.now(),
 		Target:  target,
 		Granted: granted,
 		Detail:  detail,
+		Step:    step,
 		Phase:   phase,
 	})
+}
+
+// deliver invokes the OnEvent callback behind a recover guard: an observer
+// that panics must not corrupt the operation it is watching. Recovered
+// panics are counted (EventPanics reports them) and the event is dropped.
+func (e *Env) deliver(ev Event) {
+	defer func() {
+		if recover() != nil {
+			e.eventPanics++
+		}
+	}()
+	e.OnEvent(ev)
 }

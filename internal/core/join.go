@@ -66,6 +66,7 @@ func SortMergeJoin(e *Env, left, right Input, cfg SortConfig) (*JoinResult, erro
 	st.MergeDuration = e.now() - tm
 	st.Response = e.now() - t0
 	st.ResultTuples = out.tuples
+	st.EventPanics = e.eventPanics
 	e.setPhase("idle")
 	if g := e.Mem.Granted(); g > 0 {
 		e.Mem.Yield(g)
@@ -214,6 +215,7 @@ func (j *joinEngine) jointStep() (bool, error) {
 	// Synthetic step spanning both relations, for buffer accounting and the
 	// static adaptation strategies.
 	st := &mergeStep{inputs: append(append([]*runInfo(nil), j.left...), j.right...), out: j.out}
+	m.startStep(st) // an interrupted attempt leaves its span open; the retry is a new step
 	m.curStep = st
 	defer func() { m.curStep = nil }()
 	lh := headHeap{cmp: &m.cmp}
@@ -257,6 +259,7 @@ func (j *joinEngine) jointStep() (bool, error) {
 				}
 				m.dropStepBufs(st)
 				m.st.Splits++
+				m.e.emit(EvSplitStep, len(st.inputs), "")
 				return false, nil // caller forms a preliminary step
 			}
 		} else {
@@ -305,6 +308,7 @@ func (j *joinEngine) jointStep() (bool, error) {
 				}
 			}
 			m.st.MergeSteps++
+			m.e.emitStep(EvStepDone, len(st.inputs), st.id, "")
 			return true, nil
 		case needAdapt:
 			if err := m.ensureProgress(st); err != nil {

@@ -16,6 +16,10 @@ type mergeStep struct {
 	out    *runInfo
 	parent *mergeStep
 
+	// id numbers the step within the operation (assigned by startStep) for
+	// event correlation; steps interleave under dynamic splitting.
+	id int
+
 	// drainOf marks combine-in-progress: this step must fully consume
 	// drainOf.out before absorbing drainOf's inputs.
 	drainOf *mergeStep
@@ -175,6 +179,7 @@ func (m *mergeEngine) runStatic(runs []*runInfo) (*runInfo, error) {
 		}
 		st := &mergeStep{inputs: chosen, out: out}
 		out.producer = st
+		m.startStep(st)
 		if err := m.executeStep(st); err != nil {
 			m.releaseStep(st)
 			freeRuns(m.e, rest)
@@ -332,6 +337,7 @@ func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
 	}
 	root := &mergeStep{inputs: append([]*runInfo(nil), runs...), out: out}
 	out.producer = root
+	m.startStep(root)
 	m.active = root
 	defer func() { m.active = nil }()
 	for {
@@ -450,6 +456,7 @@ func (m *mergeEngine) splitActive(target int) error {
 		st = sub
 		m.st.Splits++
 		m.e.emit(EvSplitStep, len(chosen), "")
+		m.startStep(sub)
 	}
 	m.invalidateHeap() // run sets changed on every step along the chain
 	m.active = st
@@ -739,11 +746,19 @@ func (m *mergeEngine) finishStep(st *mergeStep) error {
 	st.out.producer = nil
 	m.invalidateHeap()
 	m.st.MergeSteps++
-	m.e.emit(EvStepDone, len(st.inputs), "")
+	m.e.emitStep(EvStepDone, len(st.inputs), st.id, "")
 	if g := m.e.Mem.Granted(); g > m.st.MaxGranted {
 		m.st.MaxGranted = g
 	}
 	return nil
+}
+
+// startStep assigns the step its operation-wide id and announces it. The
+// fan-in reported here is the step's initial one; under dynamic splitting
+// it may shrink before EvStepDone reports the final fan-in.
+func (m *mergeEngine) startStep(st *mergeStep) {
+	st.id = m.e.nextStep()
+	m.e.emitStep(EvStepStart, len(st.inputs), st.id, "")
 }
 
 func (m *mergeEngine) freeRun(r *runInfo) error {

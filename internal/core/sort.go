@@ -60,6 +60,7 @@ func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
 	}
 	st.MergeDuration = e.now() - t0
 	st.Response = st.MergeDuration
+	st.EventPanics = e.eventPanics
 	e.setPhase("idle")
 	if g := e.Mem.Granted(); g > 0 {
 		e.Mem.Yield(g)
@@ -119,6 +120,7 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 	}
 	st.MergeDuration = e.now() - tm
 	st.Response = e.now() - t0
+	st.EventPanics = e.eventPanics
 	e.setPhase("idle")
 
 	// Hand every page back before completing.

@@ -124,6 +124,7 @@ func quickSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		}
 		runs = append(runs, ri)
 		st.Runs++
+		e.emit(EvRunDone, ri.pages, "")
 		st.RunPagesWritten += ri.pages
 		if g := e.Mem.Granted(); g > st.MaxGranted {
 			st.MaxGranted = g
@@ -214,6 +215,7 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		if cur != nil {
 			runs = append(runs, cur)
 			st.Runs++
+			e.emit(EvRunDone, cur.pages, "")
 			cur = nil
 		}
 		curTag++
@@ -360,6 +362,7 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 	if cur != nil {
 		runs = append(runs, cur)
 		st.Runs++
+		e.emit(EvRunDone, cur.pages, "")
 	}
 	return runs, nil
 }

@@ -40,6 +40,35 @@ type SortStats struct {
 
 	// MaxGranted tracks the high-water mark of pages held.
 	MaxGranted int
+
+	// Store I/O aggregates, filled by the host: completed read requests and
+	// append batches against the run store, their encoded byte totals, and
+	// their summed issue-to-completion latencies. The real engine measures
+	// these at the store boundary when tracing is on (they stay zero
+	// otherwise); the simulator derives the counts from its disk model via
+	// FillModeledIO.
+	StoreReads   int
+	StoreWrites  int
+	BytesRead    int64
+	BytesWritten int64
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// EventPanics counts observer callbacks (event hooks, tracers) that
+	// panicked during the operation and were recovered — nonzero means the
+	// observability layer misbehaved, never the sort.
+	EventPanics int
+}
+
+// FillModeledIO derives the store I/O aggregates from the page counters for
+// engines that model I/O instead of measuring it (the simulator): one
+// request per page, pageBytes bytes each. Latencies are left untouched —
+// the modeled clock already accounts for them in the phase durations.
+func (s *SortStats) FillModeledIO(pageBytes int) {
+	s.StoreReads = s.MergePagesRead
+	s.StoreWrites = s.RunPagesWritten + s.MergePagesWritten
+	s.BytesRead = int64(pageBytes) * int64(s.MergePagesRead)
+	s.BytesWritten = int64(pageBytes) * int64(s.RunPagesWritten+s.MergePagesWritten)
 }
 
 // JoinStats extends SortStats for sort-merge joins.

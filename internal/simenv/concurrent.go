@@ -110,6 +110,7 @@ func RunConcurrent(cfg Config, workers int) (*ConcurrentResult, error) {
 					runErr = err
 					return
 				}
+				sr.Stats.FillModeledIO(8 << 10)
 				if h.Granted() != 0 {
 					runErr = fmt.Errorf("simenv: worker %d finished holding %d pages", w, h.Granted())
 					return

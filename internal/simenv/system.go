@@ -175,6 +175,7 @@ func Run(cfg Config) (*Result, error) {
 					runErr = err
 					return
 				}
+				jr.Stats.FillModeledIO(8 << 10) // logical 8 KB pages
 				res.Joins = append(res.Joins, jr.Stats)
 			} else {
 				rel := relPick.IntN(cfg.NumRel)
@@ -199,6 +200,7 @@ func Run(cfg Config) (*Result, error) {
 					runErr = err
 					return
 				}
+				sr.Stats.FillModeledIO(8 << 10)
 				res.Sorts = append(res.Sorts, sr.Stats)
 			}
 			if pool.OpGranted() != 0 {

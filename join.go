@@ -24,20 +24,26 @@ func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mem, finish, err := memContract(ctx, &o)
+	ot := newOpTrace(&o, "join")
+	ot.begin()
+	mem, finish, err := memContract(ctx, &o, ot)
 	if err != nil {
+		ot.end(err)
 		return nil, err
 	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, mem, meter)
+	env, ts := newEnv(ctx, o, mem, meter, ot)
 	res, err := core.SortMergeJoin(env,
 		&pageInput{it: left, size: o.PageRecords},
 		&pageInput{it: right, size: o.PageRecords}, cfg)
 	if err != nil {
 		finish(nil)
-		return nil, wrapCtxErr(env.Ctx, err)
+		err = wrapCtxErr(env.Ctx, err)
+		ot.end(err)
+		return nil, err
 	}
 	js := res.Stats
+	ot.finishStats(&js.SortStats, ts)
 	out := &Result{
 		store:    o.Store,
 		run:      res.Result,
@@ -47,6 +53,8 @@ func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, e
 		Join:     &js,
 		Counters: meter.counters(),
 	}
+	ot.attach(out)
 	finish(out)
+	ot.end(nil)
 	return out, nil
 }

@@ -85,8 +85,18 @@ type Options struct {
 	// OnEvent, if set, receives adaptation events (phase changes, step
 	// splits, combines, suspensions) as they happen — the observable
 	// history of how the operator reacted to budget changes. The callback
-	// runs on the sorting goroutine and must be fast.
+	// runs on the sorting goroutine and must be fast. See WithEvents for
+	// the concurrency contract.
 	OnEvent func(Event)
+
+	// Tracer, if set, receives the operator's full observability stream
+	// (lifecycle, phases, runs, merge steps, adaptation actions, store
+	// I/O). See WithTracer.
+	Tracer Tracer
+
+	// EventLog, if positive, attaches a ring buffer retaining the last
+	// EventLog trace events to Result.Events. See WithEventLog.
+	EventLog int
 }
 
 func (o Options) build() (core.SortConfig, Options, error) {
@@ -142,17 +152,29 @@ func (o Options) build() (core.SortConfig, Options, error) {
 }
 
 // newEnv assembles the core execution environment shared by every operator
-// entry point.
-func newEnv(ctx context.Context, o Options, mem core.Broker, meter *counterMeter) *core.Env {
+// entry point. With an observer attached (ot non-nil) the engine's event
+// stream is routed through it, and with a tracer attached the run store is
+// wrapped so per-operation I/O is measured; the returned tracedStore is nil
+// on the untraced path.
+func newEnv(ctx context.Context, o Options, mem core.Broker, meter *counterMeter, ot *opTrace) (*core.Env, *tracedStore) {
 	start := time.Now()
-	return &core.Env{
-		Ctx:     ctx,
-		Store:   o.Store,
-		Mem:     mem,
-		Meter:   meter,
-		Now:     func() time.Duration { return time.Since(start) },
-		OnEvent: o.OnEvent,
+	env := &core.Env{
+		Ctx:   ctx,
+		Store: o.Store,
+		Mem:   mem,
+		Meter: meter,
+		Now:   func() time.Duration { return time.Since(start) },
 	}
+	var ts *tracedStore
+	if ot != nil {
+		ot.envStart = start
+		env.OnEvent = ot.onEvent
+		if ot.tr != nil {
+			ts = &tracedStore{RunStore: o.Store, ot: ot}
+			env.Store = ts
+		}
+	}
+	return env, ts
 }
 
 // memContract resolves the operator's memory broker. Under a Pool the
@@ -161,11 +183,15 @@ func newEnv(ctx context.Context, o Options, mem core.Broker, meter *counterMeter
 // canceled while queued). The returned finish func must be called exactly
 // once when the operator is done: it detaches from the pool and, when
 // passed a non-nil Result, attaches the operator's PoolStats to it.
-func memContract(ctx context.Context, o *Options) (core.Broker, func(*Result), error) {
+func memContract(ctx context.Context, o *Options, ot *opTrace) (core.Broker, func(*Result), error) {
 	if o.Pool == nil {
 		return o.Budget, func(*Result) {}, nil
 	}
-	h, err := o.Pool.admit(ctx)
+	var opID uint64
+	if ot != nil {
+		opID = ot.id
+	}
+	h, err := o.Pool.admit(ctx, opID)
 	if err != nil {
 		return nil, nil, wrapCtxErr(ctx, err)
 	}
@@ -222,6 +248,12 @@ func Sort(ctx context.Context, input Iterator, opts ...Option) (*Result, error) 
 }
 
 func sortWith(ctx context.Context, input Iterator, opt Options) (*Result, error) {
+	return sortNamed(ctx, input, opt, "sort")
+}
+
+// sortNamed is sortWith with the operator name used for trace attribution
+// (GroupBy runs on the sort engine but announces itself as "groupby").
+func sortNamed(ctx context.Context, input Iterator, opt Options, opName string) (*Result, error) {
 	cfg, o, err := opt.build()
 	if err != nil {
 		return nil, err
@@ -229,17 +261,22 @@ func sortWith(ctx context.Context, input Iterator, opt Options) (*Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mem, finish, err := memContract(ctx, &o)
+	ot := newOpTrace(&o, opName)
+	ot.begin()
+	mem, finish, err := memContract(ctx, &o, ot)
 	if err != nil {
+		ot.end(err)
 		return nil, err
 	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, mem, meter)
+	env, ts := newEnv(ctx, o, mem, meter, ot)
 	env.In = &pageInput{it: input, size: o.PageRecords}
 	res, err := core.ExternalSort(env, cfg)
 	if err != nil {
 		finish(nil)
-		return nil, wrapCtxErr(env.Ctx, err)
+		err = wrapCtxErr(env.Ctx, err)
+		ot.end(err)
+		return nil, err
 	}
 	out := &Result{
 		store:    o.Store,
@@ -249,7 +286,10 @@ func sortWith(ctx context.Context, input Iterator, opt Options) (*Result, error)
 		Stats:    res.Stats,
 		Counters: meter.counters(),
 	}
+	ot.finishStats(&out.Stats, ts)
+	ot.attach(out)
 	finish(out)
+	ot.end(nil)
 	return out, nil
 }
 

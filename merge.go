@@ -92,16 +92,21 @@ func Merge(ctx context.Context, store RunStore, ids []RunID, opts ...Option) (*R
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	mem, finish, err := memContract(ctx, &o)
+	ot := newOpTrace(&o, "merge")
+	ot.begin()
+	mem, finish, err := memContract(ctx, &o, ot)
 	if err != nil {
+		ot.end(err)
 		return nil, err
 	}
 	meter := &counterMeter{}
-	env := newEnv(ctx, o, mem, meter)
+	env, ts := newEnv(ctx, o, mem, meter, ot)
 	res, err := core.MergeExisting(env, cfg, ids)
 	if err != nil {
 		finish(nil)
-		return nil, wrapCtxErr(env.Ctx, err)
+		err = wrapCtxErr(env.Ctx, err)
+		ot.end(err)
+		return nil, err
 	}
 	out := &Result{
 		store:    o.Store,
@@ -111,6 +116,9 @@ func Merge(ctx context.Context, store RunStore, ids []RunID, opts ...Option) (*R
 		Stats:    res.Stats,
 		Counters: meter.counters(),
 	}
+	ot.finishStats(&out.Stats, ts)
+	ot.attach(out)
 	finish(out)
+	ot.end(nil)
 	return out, nil
 }

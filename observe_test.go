@@ -1,0 +1,477 @@
+package masort
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/memadapt/masort/trace"
+)
+
+// collectTracer records every event under a mutex. Tracers must tolerate
+// concurrent Emit calls (pool and store events can arrive off the operator
+// goroutine), and a mutex is the simplest way to comply in a test.
+type collectTracer struct {
+	mu  sync.Mutex
+	evs []trace.Event
+}
+
+func (c *collectTracer) Emit(e trace.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, e)
+	c.mu.Unlock()
+}
+
+func (c *collectTracer) events() []trace.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]trace.Event(nil), c.evs...)
+}
+
+// tracerFunc adapts a function to the Tracer interface.
+type tracerFunc func(trace.Event)
+
+func (f tracerFunc) Emit(e trace.Event) { f(e) }
+
+// churnBudget fluctuates the budget between lo and hi pages on a background
+// goroutine until the returned stop func is called, which restores hi.
+func churnBudget(b *Budget, lo, hi int) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(3, 9))
+		for {
+			select {
+			case <-done:
+				b.Resize(hi)
+				return
+			default:
+				b.Resize(lo + rng.IntN(hi-lo))
+				time.Sleep(150 * time.Microsecond)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// checkCountersMatchStats asserts the acceptance criterion of the metrics
+// backend: for a single operator against a fresh registry, every counter
+// equals the corresponding Result.Stats field.
+func checkCountersMatchStats(t *testing.T, m *trace.Metrics, s Stats) {
+	t.Helper()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"masort_runs_total", int64(s.Runs)},
+		{"masort_merge_steps_total", int64(s.MergeSteps)},
+		{"masort_splits_total", int64(s.Splits)},
+		{"masort_combines_total", int64(s.Combines)},
+		{"masort_suspensions_total", int64(s.Suspensions)},
+		{"masort_resumes_total", int64(s.Suspensions)}, // every suspend resumes
+		{"masort_store_reads_total", int64(s.StoreReads)},
+		{"masort_store_writes_total", int64(s.StoreWrites)},
+		{"masort_store_read_bytes_total", s.BytesRead},
+		{"masort_store_write_bytes_total", s.BytesWritten},
+	} {
+		if got := m.Counter(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMetricsMatchStats(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("sort", func(t *testing.T) {
+		m := trace.NewMetrics()
+		in := randomRecords(120_000, 31, 0)
+		budget := NewBudget(32)
+		stop := churnBudget(budget, 3, 32)
+		res, err := Sort(ctx, NewSliceIterator(in),
+			WithPageRecords(64), WithBudget(budget), WithTracer(m))
+		stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		s := res.Stats
+		// The fluctuating budget must have exercised the adaptive paths, or
+		// the equalities below are vacuous.
+		if s.Runs < 2 || s.MergeSteps < 1 || s.Splits < 1 {
+			t.Fatalf("sort not adaptive enough to test: %+v", s)
+		}
+		if s.StoreWrites == 0 || s.BytesWritten == 0 {
+			t.Fatalf("traced store measured no writes: %+v", s)
+		}
+		checkCountersMatchStats(t, m, s)
+		if begun, done := m.Ops("sort"); begun != 1 || done != 1 {
+			t.Fatalf("Ops(sort) = %d begun, %d done, want 1/1", begun, done)
+		}
+	})
+
+	t.Run("suspension", func(t *testing.T) {
+		m := trace.NewMetrics()
+		in := randomRecords(80_000, 23, 0)
+		budget := NewBudget(24)
+		store := &shrinkOnRead{MemStore: NewMemStore(), budget: budget, at: 100}
+		res, err := Sort(ctx, NewSliceIterator(in),
+			WithAdaptation(Suspension),
+			WithPageRecords(64),
+			WithBudget(budget),
+			WithStore(store),
+			WithTracer(m),
+			WithEvents(func(ev Event) {
+				if ev.Kind == EvSuspend {
+					go budget.Resize(24)
+				}
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		if res.Stats.Suspensions == 0 {
+			t.Fatalf("no suspensions triggered: %+v", res.Stats)
+		}
+		checkCountersMatchStats(t, m, res.Stats)
+	})
+
+	t.Run("join", func(t *testing.T) {
+		m := trace.NewMetrics()
+		rng := rand.New(rand.NewPCG(7, 7))
+		l := make([]Record, 4000)
+		r := make([]Record, 2000)
+		for i := range l {
+			l[i] = Record{Key: rng.Uint64() % 1024, Payload: []byte{'L'}}
+		}
+		for i := range r {
+			r[i] = Record{Key: rng.Uint64() % 1024, Payload: []byte{'R'}}
+		}
+		res, err := Join(ctx, NewSliceIterator(l), NewSliceIterator(r),
+			WithPageRecords(32), WithBudget(NewBudget(10)), WithTracer(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		s := res.Stats
+		if s.Runs != res.Join.LeftRuns+res.Join.RightRuns {
+			t.Fatalf("join Runs %d != left %d + right %d",
+				s.Runs, res.Join.LeftRuns, res.Join.RightRuns)
+		}
+		checkCountersMatchStats(t, m, s)
+		if begun, done := m.Ops("join"); begun != 1 || done != 1 {
+			t.Fatalf("Ops(join) = %d begun, %d done, want 1/1", begun, done)
+		}
+	})
+
+	t.Run("pooled", func(t *testing.T) {
+		m := trace.NewMetrics()
+		pool := NewPool(16, WithPoolTracer(m))
+		in := randomRecords(30_000, 21, 0)
+		res, err := Sort(ctx, NewSliceIterator(in),
+			WithPageRecords(64), WithPool(pool), WithTracer(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		checkCountersMatchStats(t, m, res.Stats)
+		if got := m.Counter("masort_pool_admissions_total"); got != 1 {
+			t.Fatalf("pool admissions = %d, want 1", got)
+		}
+		if got := m.Counter("masort_pool_grants_total"); int(got) != res.Pool.Grants {
+			t.Fatalf("pool grants = %d, want %d", got, res.Pool.Grants)
+		}
+		if got := m.Counter("masort_pool_pages_granted_total"); int(got) != res.Pool.PagesGranted {
+			t.Fatalf("pool pages granted = %d, want %d", got, res.Pool.PagesGranted)
+		}
+	})
+}
+
+// phaseOrder asserts the operator's phase events are well formed: at least
+// one split phase first, every split phase before every merge phase, and a
+// final idle. ops filters the event stream to one operator.
+func phaseOrder(t *testing.T, evs []trace.Event) {
+	t.Helper()
+	var phases []string
+	for _, e := range evs {
+		if e.Kind == trace.KindPhase {
+			phases = append(phases, e.Name)
+		}
+	}
+	if len(phases) < 3 {
+		t.Fatalf("phases = %v, want at least split/merge/idle", phases)
+	}
+	if phases[0] != "split" {
+		t.Fatalf("first phase %q, want split", phases[0])
+	}
+	if phases[len(phases)-1] != "idle" {
+		t.Fatalf("last phase %q, want idle", phases[len(phases)-1])
+	}
+	mergeSeen := false
+	for _, p := range phases {
+		switch p {
+		case "merge":
+			mergeSeen = true
+		case "split":
+			if mergeSeen {
+				t.Fatalf("split phase after merge began: %v", phases)
+			}
+		}
+	}
+	if !mergeSeen {
+		t.Fatalf("no merge phase: %v", phases)
+	}
+}
+
+// checkOpStream runs the structural assertions on one operator's events:
+// begin/end bracketing, phase order, paired suspends/resumes, and step
+// bookkeeping consistent with the final stats.
+func checkOpStream(t *testing.T, all []trace.Event, s Stats) {
+	t.Helper()
+	if len(all) == 0 {
+		t.Fatal("no events traced")
+	}
+	if all[0].Kind != trace.KindOpBegin {
+		t.Fatalf("first event %v, want op_begin", all[0].Kind)
+	}
+	op := all[0].Op
+	var evs []trace.Event
+	for _, e := range all {
+		if e.Op == op {
+			evs = append(evs, e)
+		}
+	}
+	if last := evs[len(evs)-1]; last.Kind != trace.KindOpEnd {
+		t.Fatalf("last op event %v, want op_end", last.Kind)
+	}
+	phaseOrder(t, evs)
+	suspended := 0
+	begins, ends, runs := 0, 0, 0
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KindSuspend:
+			suspended++
+		case trace.KindResume:
+			suspended--
+			if suspended < 0 {
+				t.Fatal("resume without a matching suspend")
+			}
+		case trace.KindStepBegin:
+			begins++
+		case trace.KindStepEnd:
+			ends++
+		case trace.KindRun:
+			runs++
+		}
+	}
+	if suspended != 0 {
+		t.Fatalf("%d suspends left unresumed", suspended)
+	}
+	if runs != s.Runs {
+		t.Fatalf("run events = %d, stats.Runs = %d", runs, s.Runs)
+	}
+	if ends != s.MergeSteps {
+		t.Fatalf("step_end events = %d, stats.MergeSteps = %d", ends, s.MergeSteps)
+	}
+	if begins < ends {
+		t.Fatalf("step_begin %d < step_end %d", begins, ends)
+	}
+}
+
+// TestTraceOrderingUnderFluctuation is the -race acceptance test: under a
+// fluctuating budget, the trace stream stays structurally sound for both a
+// plain and a pooled operator, and the WithEvents callback honors its
+// sequential-delivery contract.
+func TestTraceOrderingUnderFluctuation(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("plain", func(t *testing.T) {
+		c := &collectTracer{}
+		var inCallback atomic.Int32
+		in := randomRecords(120_000, 41, 0)
+		budget := NewBudget(32)
+		stop := churnBudget(budget, 3, 32)
+		res, err := Sort(ctx, NewSliceIterator(in),
+			WithPageRecords(64), WithBudget(budget), WithTracer(c),
+			WithEvents(func(ev Event) {
+				// The WithEvents contract: invocations are sequential. A
+				// failed CAS means two callbacks overlapped.
+				if !inCallback.CompareAndSwap(0, 1) {
+					t.Error("WithEvents callback invoked concurrently")
+				}
+				inCallback.Store(0)
+			}))
+		stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		checkOpStream(t, c.events(), res.Stats)
+	})
+
+	t.Run("pooled", func(t *testing.T) {
+		c := &collectTracer{}
+		pool := NewPool(32, WithPoolTracer(c))
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(5, 5))
+			for {
+				select {
+				case <-done:
+					pool.Resize(32)
+					return
+				default:
+					pool.Resize(8 + rng.IntN(24))
+					time.Sleep(150 * time.Microsecond)
+				}
+			}
+		}()
+		in := randomRecords(80_000, 43, 0)
+		res, err := Sort(ctx, NewSliceIterator(in),
+			WithPageRecords(64), WithPool(pool), WithTracer(c))
+		close(done)
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		evs := c.events()
+		checkOpStream(t, evs, res.Stats)
+		grants := 0
+		for _, e := range evs {
+			if e.Kind == trace.KindPoolGrant {
+				grants++
+				if e.Pages <= 0 {
+					t.Fatalf("pool grant of %d pages", e.Pages)
+				}
+			}
+		}
+		if grants == 0 {
+			t.Fatal("no pool grant events for a pooled sort")
+		}
+	})
+}
+
+// TestObserverPanicsRecovered pins the panic guarantee: a panicking
+// WithEvents callback or tracer never corrupts the sort — the operation
+// completes correctly and the recovered panics are counted.
+func TestObserverPanicsRecovered(t *testing.T) {
+	in := randomRecords(30_000, 5, 0)
+	res, err := Sort(context.Background(), NewSliceIterator(in),
+		WithPageRecords(64), WithBudget(NewBudget(16)),
+		WithEvents(func(Event) { panic("observer bug") }),
+		WithTracer(tracerFunc(func(trace.Event) { panic("tracer bug") })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	out, err := Drain(res.Iterator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out)
+	assertPermutation(t, in, out)
+	if res.Stats.EventPanics == 0 {
+		t.Fatal("recovered panics not counted in Stats.EventPanics")
+	}
+}
+
+// TestChromeTraceFromSort runs a real adaptive sort through the Chrome
+// writer and checks the output is structurally valid trace_event JSON.
+func TestChromeTraceFromSort(t *testing.T) {
+	var buf bytes.Buffer
+	ch := trace.NewChrome(&buf)
+	in := randomRecords(120_000, 47, 0)
+	budget := NewBudget(32)
+	stop := churnBudget(budget, 3, 32)
+	res, err := Sort(context.Background(), NewSliceIterator(in),
+		WithPageRecords(64), WithBudget(budget), WithTracer(ch))
+	stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty trace")
+	}
+	phCount := map[string]int{}
+	for i, r := range rows {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := r[field]; !ok {
+				t.Fatalf("row %d missing %q: %v", i, field, r)
+			}
+		}
+		phCount[r["ph"].(string)]++
+	}
+	if phCount["B"] == 0 || phCount["B"] != phCount["E"] {
+		t.Fatalf("unbalanced duration events: B=%d E=%d", phCount["B"], phCount["E"])
+	}
+	if phCount["X"] == 0 {
+		t.Fatal("no complete (X) events — store I/O missing from trace")
+	}
+	if phCount["b"] == 0 || phCount["b"] < phCount["e"] {
+		t.Fatalf("async merge-step spans malformed: b=%d e=%d", phCount["b"], phCount["e"])
+	}
+	if phCount["i"] == 0 {
+		t.Fatal("no instant (i) adaptation events under a fluctuating budget")
+	}
+}
+
+// TestEventLogOnResult checks the WithEventLog flight recorder: the ring
+// rides on the Result, keeps at most N events, ends with the op_end event,
+// and serializes to JSON.
+func TestEventLogOnResult(t *testing.T) {
+	const n = 64
+	in := randomRecords(60_000, 11, 0)
+	res, err := Sort(context.Background(), NewSliceIterator(in),
+		WithPageRecords(64), WithBudget(NewBudget(16)), WithEventLog(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Events == nil {
+		t.Fatal("Result.Events nil despite WithEventLog")
+	}
+	evs := res.Events.Events()
+	if len(evs) == 0 || len(evs) > n {
+		t.Fatalf("ring holds %d events, want 1..%d", len(evs), n)
+	}
+	if res.Events.Total() < uint64(len(evs)) {
+		t.Fatalf("Total %d < retained %d", res.Events.Total(), len(evs))
+	}
+	if last := evs[len(evs)-1]; last.Kind != trace.KindOpEnd {
+		t.Fatalf("last ring event %v, want op_end", last.Kind)
+	}
+	var buf bytes.Buffer
+	if err := res.Events.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Total  uint64           `json:"total"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("ring JSON invalid: %v\n%s", err, buf.Bytes())
+	}
+	if payload.Total != res.Events.Total() || len(payload.Events) != len(evs) {
+		t.Fatalf("ring JSON total=%d events=%d, want %d/%d",
+			payload.Total, len(payload.Events), res.Events.Total(), len(evs))
+	}
+}

@@ -61,10 +61,44 @@ func WithAdaptiveBlockIO(on bool) Option {
 }
 
 // WithEvents installs a callback receiving adaptation events (phase
-// changes, step splits, combines, suspensions) as they happen. The callback
-// runs on the operator's goroutine and must be fast.
+// changes, step splits, combines, suspensions) as they happen.
+//
+// Concurrency contract: the engine invokes the callback sequentially, on
+// the operator's own goroutine — never concurrently with itself for one
+// operator. A callback shared across operators (a pooled workload) must be
+// safe for concurrent use, since each operator invokes its own copy of the
+// stream. The callback must be fast — it runs inside the sort's adaptation
+// path. A panicking callback is recovered and counted in
+// Stats.EventPanics; it never corrupts the operation.
 func WithEvents(fn func(Event)) Option {
 	return func(o *Options) { o.OnEvent = fn }
+}
+
+// WithTracer attaches a tracer to the operator: it receives the full
+// observability stream — operator begin/end, phase transitions, every
+// sorted run, merge-step spans, adaptation actions (splits, combines,
+// suspensions, resumes) and per-operation store I/O with byte counts and
+// latencies. Combine tracers with trace.Multi; share one trace.Metrics
+// across operators to aggregate a whole workload.
+//
+// Most events fire on the operator's goroutine, but store I/O completions
+// may fire from other goroutines — tracers must be safe for concurrent use
+// (all implementations in the trace package are). A nil tracer is valid
+// and costs nothing; a panicking tracer is recovered and counted in
+// Stats.EventPanics.
+//
+// Tracing also fills the Stats store-I/O aggregates (StoreReads,
+// BytesWritten, ...), which stay zero on the untraced path.
+func WithTracer(t Tracer) Option {
+	return func(o *Options) { o.Tracer = t }
+}
+
+// WithEventLog attaches a flight-recorder ring retaining the operator's
+// last n trace events to Result.Events — cheap always-on capture of the
+// moments before whatever made the result interesting. It composes with
+// WithTracer (both see the stream).
+func WithEventLog(n int) Option {
+	return func(o *Options) { o.EventLog = n }
 }
 
 // WithOptions replaces the whole configuration with a legacy Options

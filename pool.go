@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/memadapt/masort/internal/memarb"
+	"github.com/memadapt/masort/trace"
 )
 
 // ErrPoolSaturated is returned by Sort, Join, GroupBy and Merge when a
@@ -53,6 +54,15 @@ func WithAdmissionPolicy(a AdmissionPolicy) PoolOption {
 	return func(p *Pool) { p.admission = a }
 }
 
+// WithPoolTracer attaches a tracer to the pool: admissions (with queue
+// wait), rejections, page grants, blocking arbitration waits and resizes
+// are emitted as they happen, attributed to the operator involved. The
+// tracer is fixed at construction; share the operators' trace.Metrics here
+// to see arbitration and adaptation in one registry.
+func WithPoolTracer(t Tracer) PoolOption {
+	return func(p *Pool) { p.tr = t }
+}
+
 const minFloor = 3
 
 // Pool is a process-wide shared memory budget: the wall-clock counterpart
@@ -85,6 +95,7 @@ type Pool struct {
 
 	pol       memarb.Policy
 	admission AdmissionPolicy
+	tr        Tracer // fixed at construction; emits happen outside mu
 
 	// Conservation: Σ granted + reserved + free == total at all times;
 	// pending is a promise against future free pages, not a holding. free
@@ -170,6 +181,14 @@ func (p *Pool) RejectedReservations() int {
 // and takes effect as operators yield down to their reduced entitlements.
 // Resize returns the total actually set.
 func (p *Pool) Resize(total int) int {
+	set := p.resize(total)
+	if p.tr != nil {
+		emitSafe(p.tr, trace.Event{Kind: trace.KindPoolResize, Time: time.Now(), Pages: set}, nil)
+	}
+	return set
+}
+
+func (p *Pool) resize(total int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	min := len(p.ops)*p.pol.Floor + p.reserved + p.pending
@@ -290,8 +309,24 @@ func (p *Pool) wake() {
 // admit registers a new operator, waiting (QueueWhenFull) or failing
 // (RejectWhenFull) while one more floor does not fit in what application
 // reservations have not taken — an admitted operator's floor must be
-// genuinely acquirable, not promised away.
-func (p *Pool) admit(ctx context.Context) (*poolOp, error) {
+// genuinely acquirable, not promised away. op is the operator's trace id
+// (0 when untraced), attributed to the admission events.
+func (p *Pool) admit(ctx context.Context, op uint64) (*poolOp, error) {
+	h, err := p.register(ctx, op)
+	if p.tr != nil {
+		switch {
+		case err == nil:
+			emitSafe(p.tr, trace.Event{Kind: trace.KindPoolAdmit, Time: time.Now(),
+				Op: op, Dur: h.stats.AdmissionWait}, nil)
+		case errors.Is(err, ErrPoolSaturated):
+			emitSafe(p.tr, trace.Event{Kind: trace.KindPoolReject, Time: time.Now(),
+				Op: op, Err: err.Error()}, nil)
+		}
+	}
+	return h, err
+}
+
+func (p *Pool) register(ctx context.Context, op uint64) (*poolOp, error) {
 	start := time.Now()
 	stop := context.AfterFunc(ctx, p.wake)
 	defer stop()
@@ -307,7 +342,7 @@ func (p *Pool) admit(ctx context.Context) (*poolOp, error) {
 		}
 		p.cond.Wait()
 	}
-	h := &poolOp{p: p}
+	h := &poolOp{p: p, op: op}
 	h.stats.AdmissionWait = time.Since(start)
 	p.ops = append(p.ops, h)
 	// Every sibling's entitlement just shrank.
@@ -364,6 +399,7 @@ type PoolStats struct {
 // it adapts to a resized Budget.
 type poolOp struct {
 	p       *Pool
+	op      uint64 // trace id of the operator, 0 when untraced
 	granted int
 	stats   PoolStats
 }
@@ -411,6 +447,15 @@ func (h *poolOp) Pressure() int {
 // Acquire grants up to n additional pages, bounded by the entitlement and
 // the free pool.
 func (h *poolOp) Acquire(n int) int {
+	got := h.acquire(n)
+	if got > 0 && h.p.tr != nil {
+		emitSafe(h.p.tr, trace.Event{Kind: trace.KindPoolGrant, Time: time.Now(),
+			Op: h.op, Pages: got}, nil)
+	}
+	return got
+}
+
+func (h *poolOp) acquire(n int) int {
 	h.p.mu.Lock()
 	defer h.p.mu.Unlock()
 	if room := h.target() - h.granted; n > room {
@@ -472,6 +517,12 @@ func (h *poolOp) WaitChangeCtx(ctx context.Context) error {
 }
 
 func (h *poolOp) waitTarget(ctx context.Context, n int) error {
+	waited, err := h.waitTargetLocked(ctx, n)
+	h.emitWait(waited)
+	return err
+}
+
+func (h *poolOp) waitTargetLocked(ctx context.Context, n int) (time.Duration, error) {
 	h.p.mu.Lock()
 	defer h.p.mu.Unlock()
 	// The clamp to the pool total is re-applied every iteration: Resize may
@@ -484,7 +535,7 @@ func (h *poolOp) waitTarget(ctx context.Context, n int) error {
 		return n
 	}
 	if h.target() >= need() {
-		return nil
+		return 0, nil
 	}
 	h.stats.Waits++
 	start := time.Now()
@@ -492,28 +543,45 @@ func (h *poolOp) waitTarget(ctx context.Context, n int) error {
 	for h.target() < need() {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return time.Since(start), err
 			}
 		}
 		h.p.cond.Wait()
 	}
-	return nil
+	return time.Since(start), nil
 }
 
 func (h *poolOp) waitChange(ctx context.Context) error {
+	waited, err := h.waitChangeLocked(ctx)
+	h.emitWait(waited)
+	return err
+}
+
+func (h *poolOp) waitChangeLocked(ctx context.Context) (time.Duration, error) {
 	h.p.mu.Lock()
 	defer h.p.mu.Unlock()
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	h.stats.Waits++
 	start := time.Now()
 	h.p.cond.Wait()
-	h.stats.WaitTime += time.Since(start)
+	d := time.Since(start)
+	h.stats.WaitTime += d
 	if ctx != nil {
-		return ctx.Err()
+		return d, ctx.Err()
 	}
-	return nil
+	return d, nil
+}
+
+// emitWait reports a completed blocking wait (zero-duration "waits" — the
+// fast path where the target was already satisfied — are not waits and emit
+// nothing).
+func (h *poolOp) emitWait(d time.Duration) {
+	if d > 0 && h.p.tr != nil {
+		emitSafe(h.p.tr, trace.Event{Kind: trace.KindPoolWait, Time: time.Now(),
+			Op: h.op, Dur: d}, nil)
+	}
 }

@@ -148,7 +148,7 @@ func TestPoolFairnessUnderChurn(t *testing.T) {
 			opWG.Add(1)
 			go func() {
 				defer opWG.Done()
-				h, err := pool.admit(ctx)
+				h, err := pool.admit(ctx, 0)
 				if err != nil {
 					t.Errorf("admit: %v", err)
 					return
@@ -218,7 +218,7 @@ func TestPoolFairnessUnderChurn(t *testing.T) {
 
 func TestPoolAdmissionReject(t *testing.T) {
 	pool := NewPool(5, WithPoolFloor(3), WithAdmissionPolicy(RejectWhenFull))
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestPoolAdmissionReject(t *testing.T) {
 // (promised away to a reservation) is not admissible.
 func TestPoolAdmissionRespectsReservations(t *testing.T) {
 	pool := NewPool(10, WithPoolFloor(3), WithAdmissionPolicy(RejectWhenFull))
-	h1, err := pool.admit(context.Background())
+	h1, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,11 +249,11 @@ func TestPoolAdmissionRespectsReservations(t *testing.T) {
 		t.Fatalf("Reserve = (%d, %v), want (7, nil)", got, err)
 	}
 	// 10 total − 7 reserved = 3: one floor fits (h1's), a second does not.
-	if _, err := pool.admit(context.Background()); !errors.Is(err, ErrPoolSaturated) {
+	if _, err := pool.admit(context.Background(), 0); !errors.Is(err, ErrPoolSaturated) {
 		t.Fatalf("admit with floors promised away: err = %v, want ErrPoolSaturated", err)
 	}
 	pool.Release(7)
-	h2, err := pool.admit(context.Background())
+	h2, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("admit after Release: %v", err)
 	}
@@ -266,11 +266,11 @@ func TestPoolAdmissionRespectsReservations(t *testing.T) {
 // all its own.
 func TestPoolWaitTargetSurvivesShrink(t *testing.T) {
 	pool := NewPool(64)
-	h1, err := pool.admit(context.Background())
+	h1, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := pool.admit(context.Background())
+	h2, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestPoolWaitTargetSurvivesShrink(t *testing.T) {
 
 func TestPoolAdmissionQueue(t *testing.T) {
 	pool := NewPool(5, WithPoolFloor(3)) // room for exactly one operator
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestPoolAdmissionQueue(t *testing.T) {
 
 func TestPoolAdmissionCanceled(t *testing.T) {
 	pool := NewPool(5, WithPoolFloor(3))
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestPoolAdmissionCanceled(t *testing.T) {
 
 func TestPoolReserveHeadroomAndRelease(t *testing.T) {
 	pool := NewPool(20, WithPoolFloor(4))
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestPoolReserveHeadroomAndRelease(t *testing.T) {
 
 func TestPoolReserveBlocksUntilYield(t *testing.T) {
 	pool := NewPool(12, WithPoolFloor(3))
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +433,7 @@ func TestPoolReserveBlocksUntilYield(t *testing.T) {
 
 func TestPoolReserveCanceled(t *testing.T) {
 	pool := NewPool(12, WithPoolFloor(3))
-	h, err := pool.admit(context.Background())
+	h, err := pool.admit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,8 +465,8 @@ func TestPoolReserveCanceled(t *testing.T) {
 
 func TestPoolResize(t *testing.T) {
 	pool := NewPool(10, WithPoolFloor(5))
-	h1, _ := pool.admit(context.Background())
-	h2, _ := pool.admit(context.Background())
+	h1, _ := pool.admit(context.Background(), 0)
+	h2, _ := pool.admit(context.Background(), 0)
 	if got := pool.Resize(6); got != 10 {
 		t.Fatalf("Resize below 2 floors set %d, want clamp at 10", got)
 	}

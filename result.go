@@ -1,6 +1,10 @@
 package masort
 
-import "iter"
+import (
+	"iter"
+
+	"github.com/memadapt/masort/trace"
+)
 
 // Result is the outcome of a finished Sort, Join, GroupBy or Merge: a
 // handle to the stored run of output records plus execution statistics. It
@@ -29,6 +33,11 @@ type Result struct {
 
 	// Counters tallies CPU-relevant operations.
 	Counters Counters
+
+	// Events is the operator's flight recorder — the last N trace events,
+	// oldest first via Events.Events() — when the operator ran with
+	// WithEventLog; nil otherwise.
+	Events *trace.Ring
 
 	freed bool
 }
