@@ -394,10 +394,10 @@ func (s *FileStore) readPage(r *fileRun, id RunID, page int, off, end int64, tok
 	}
 	pg, alias, n, err := pagecodec.DecodePage(buf)
 	if err != nil || n != len(buf) {
-		s.putBuf(buf)
 		if err == nil {
 			err = fmt.Errorf("page extent is %d bytes, decoded %d", len(buf), n)
 		}
+		s.putBuf(buf)
 		tok.err = fmt.Errorf("masort: decode run %d page %d: %w", id, page, err)
 		return
 	}

@@ -1,0 +1,66 @@
+// Package analysis defines the minimal analyzer plumbing masortlint is
+// built on: an Analyzer runs over one type-checked package and reports
+// Diagnostics.
+//
+// The API deliberately mirrors the relevant subset of
+// golang.org/x/tools/go/analysis so the passes can be ported to the real
+// framework mechanically if/when an x/tools dependency becomes acceptable
+// for this repo (the library module is kept stdlib-only on principle, and
+// this tools module follows suit so the whole repository builds offline).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run is invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//masortlint:allow <name>" suppression directives.
+	Name string
+	// Doc is a short description: first line is a one-liner, the rest
+	// states the contract being enforced.
+	Doc string
+	// Run performs the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver owns suppression
+	// (directives) and ordering; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// NewInfo returns a types.Info with every map populated, as analyzers
+// expect full use/def/selection resolution.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// and checks its diagnostics against "// want" comments, following the
+// golden-file convention of golang.org/x/tools/go/analysis/analysistest:
+//
+//	bad := retain(p) // want `retained past token completion`
+//
+// Each quoted or backquoted string after "want" is a regular expression
+// that must match exactly one diagnostic reported on that line; any
+// unmatched diagnostic or unmatched expectation fails the test. Fixtures
+// live under <testdata>/src/<pkg>/ and are loaded in GOPATH mode, so they
+// may import only the standard library and sibling fixture packages.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/memadapt/masort/internal/analyzers/analysis"
+	"github.com/memadapt/masort/internal/analyzers/load"
+	"github.com/memadapt/masort/internal/analyzers/runner"
+)
+
+// wantRE pulls the "want" clause out of a comment.
+var wantRE = regexp.MustCompile(`(?:^|\s)want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and reports any
+// mismatch between the analyzer's diagnostics and the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	cfg := load.Config{
+		Dir: abs,
+		Env: []string{
+			"GOPATH=" + abs,
+			"GO111MODULE=off",
+			"GOFLAGS=",
+			"GOWORK=off",
+			"GOPROXY=off",
+		},
+	}
+	loaded, err := load.Load(cfg, pkgs...)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	findings, err := runner.Run(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, pkg := range loaded {
+		for _, f := range pkg.Syntax {
+			collectWants(t, pkg.Fset, f, wants)
+		}
+	}
+
+	for _, fd := range findings {
+		key := posKey(fd.Pos)
+		var hit *expectation
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(fd.Message) {
+				hit = exp
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, fd.Analyzer, fd.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+			m := wantRE.FindStringSubmatch(strings.TrimSpace(text))
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			for _, pat := range splitPatterns(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+	}
+}
+
+// splitPatterns splits `"re1" "re2"` / “ `re` “ clauses into their
+// patterns.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			// Not a quoted pattern: stop (tolerates trailing prose).
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return append(out, s[1:]) // unterminated; take the rest
+		}
+		pat := s[1 : 1+end]
+		if quote == '"' {
+			pat = strings.ReplaceAll(pat, `\\`, `\`)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Command masortlint runs the masort static-analysis suite: the custom
+// analyzers that machine-enforce the engine's safety contracts
+// (buffer ownership, tracer delivery, simulator determinism, sentinel
+// error handling).
+//
+// Standalone:
+//
+//	masortlint [-tests] [-dir d] [packages...]
+//
+// analyzes the packages (default ./...) and exits 2 if any contract is
+// violated.
+//
+// As a go vet tool:
+//
+//	go vet -vettool=$(command -v masortlint) ./...
+//
+// masortlint then speaks the vet driver protocol: -V=full prints a
+// version fingerprint for vet's build cache, -flags lists the tool's
+// flags, and a single *.cfg argument selects one-package mode, where the
+// JSON config supplies the file list and export data exactly as go vet
+// prepared them.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/memadapt/masort/internal/analyzers/load"
+	"github.com/memadapt/masort/internal/analyzers/passes"
+	"github.com/memadapt/masort/internal/analyzers/runner"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet driver protocol first: these arrive before flag parsing.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0])
+	}
+	return runStandalone(args)
+}
+
+// printVersion prints the version line go vet hashes into its cache key:
+// the fingerprint must change whenever the tool's behavior does, so it is
+// derived from the binary itself.
+func printVersion() {
+	fingerprint := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			fingerprint = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("masortlint version devel buildID=%s\n", fingerprint)
+}
+
+// runStandalone loads patterns through the go command and reports every
+// finding.
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("masortlint", flag.ExitOnError)
+	dir := fs.String("dir", "", "working directory for package loading")
+	tests := fs.Bool("tests", false, "also analyze test packages")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range passes.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-16s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Dir: *dir, Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masortlint: %v\n", err)
+		return 1
+	}
+	findings, err := runner.Run(pkgs, passes.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masortlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON configuration go vet hands a -vettool for each
+// package, mirroring golang.org/x/tools/go/analysis/unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by a vet config file.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masortlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "masortlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even when empty, or vet reports an error.
+	// masortlint's analyzers are fact-free, so it always is.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "masortlint: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency package: vet only wants facts, and we have none.
+		writeVetx()
+		return 0
+	}
+	if len(cfg.NonGoFiles) > 0 || cfg.Compiler != "gc" {
+		// Cgo or assembly in play: the export-data importer can't reproduce
+		// the compiler's view, so skip rather than misreport.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	syntax, tpkg, info, err := load.TypeCheckFiles(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "masortlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &load.Package{
+		ImportPath: cfg.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        cfg.Dir,
+		GoFiles:    files,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := runner.Run([]*load.Package{pkg}, passes.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masortlint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	for _, f := range findings {
+		// go vet prefixes each stderr line with the package; match the
+		// plain file:line:col form it expects from unitchecker-style tools.
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

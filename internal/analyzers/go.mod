@@ -1,0 +1,3 @@
+module github.com/memadapt/masort/internal/analyzers
+
+go 1.23

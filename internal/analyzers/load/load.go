@@ -1,0 +1,215 @@
+// Package load turns package patterns into parsed, fully type-checked
+// packages using only the standard library and the go command.
+//
+// The go command does the heavy lifting: "go list -deps -export -json"
+// compiles every dependency and reports the build-cache file holding each
+// package's export data. Target packages are then parsed from source and
+// type-checked with go/types against that export data via
+// importer.ForCompiler's lookup hook — the same strategy
+// golang.org/x/tools/go/packages uses, reduced to what masortlint needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"github.com/memadapt/masort/internal/analyzers/analysis"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, in go list order
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Config controls a Load call.
+type Config struct {
+	// Dir is the working directory for the go command ("" = current).
+	Dir string
+	// Env entries are appended to os.Environ() for the go command
+	// (e.g. GOPATH/GO111MODULE overrides for GOPATH-mode fixtures).
+	Env []string
+	// Tests includes test packages: each package is analyzed in its
+	// test-augmented form (in-package _test.go files folded in) plus any
+	// external _test package.
+	Tests bool
+}
+
+// listPackage is the subset of go list -json output Load consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and returns the matched packages
+// parsed and type-checked. Dependencies are imported from export data, so
+// only the targets themselves are re-checked from source.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	targets, exports, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range targets {
+		pkg, err := check(fset, lp, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs go list and splits the result into target packages (to be
+// analyzed from source) and an export-data index covering everything.
+func goList(cfg Config, patterns []string) ([]*listPackage, map[string]string, error) {
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,DepOnly,ForTest,ImportMap,Error"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	// Packages whose test-augmented variant is also listed: analyzing both
+	// would duplicate every diagnostic in the non-test files.
+	augmented := map[string]bool{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		if lp.ForTest != "" && !strings.HasSuffix(lp.ImportPath, "_test ["+lp.ForTest+".test]") {
+			augmented[lp.ForTest] = true
+		}
+		p := lp
+		targets = append(targets, &p)
+	}
+	var out []*listPackage
+	for _, lp := range targets {
+		if lp.ForTest == "" && augmented[lp.ImportPath] {
+			continue
+		}
+		out = append(out, lp)
+	}
+	return out, exports, nil
+}
+
+// check parses and type-checks one listed package against export data.
+func check(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, errors.New("cgo packages are not supported")
+	}
+	var files []string
+	for _, f := range lp.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(lp.Dir, f)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := lp.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	syntax, tpkg, info, err := TypeCheckFiles(fset, lp.ImportPath, files, lookup)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        lp.Dir,
+		GoFiles:    files,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// TypeCheckFiles parses filenames and type-checks them as one package,
+// importing dependencies through lookup (export data). It is shared by the
+// standalone loader and masortlint's go vet -vettool mode, where the vet
+// config supplies the file and export lists.
+func TypeCheckFiles(fset *token.FileSet, importPath string, filenames []string,
+	lookup func(string) (io.ReadCloser, error)) ([]*ast.File, *types.Package, *types.Info, error) {
+
+	var syntax []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking: %w", err)
+	}
+	return syntax, tpkg, info, nil
+}

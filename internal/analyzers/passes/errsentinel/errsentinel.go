@@ -1,0 +1,159 @@
+// Package errsentinel enforces the engine's error-matching contract: the
+// exported sentinel errors (ErrFreed, ErrCanceled, ErrPoolSaturated, and
+// any future Err* package-level variable) travel wrapped — ErrCanceled
+// arrives as "%w: %w" around the context error — so identity comparison
+// with == silently stops matching. Callers must use errors.Is, and code
+// adding context to a sentinel must wrap it with %w, never format it away
+// with %v or %s.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/memadapt/masort/internal/analyzers/analysis"
+	"github.com/memadapt/masort/internal/analyzers/lintutil"
+)
+
+// Analyzer flags ==/!= comparison of sentinel errors and fmt.Errorf calls
+// that format a sentinel with a verb other than %w.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "sentinel errors must be matched with errors.Is and wrapped with %w\n\n" +
+		"The engine returns its Err* sentinels wrapped (e.g. ErrCanceled wraps the\n" +
+		"context error), so == comparison breaks as soon as any layer adds context.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags `err == ErrFreed` style identity tests.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	operand, _ := lintutil.NilComparison(b)
+	if operand != nil {
+		return // x == nil is fine
+	}
+	for _, e := range []ast.Expr{b.X, b.Y} {
+		if s := lintutil.SentinelError(pass.TypesInfo, e); s != nil {
+			pass.Reportf(b.OpPos,
+				"%s is compared with %s; sentinel errors travel wrapped — use errors.Is(err, %s)",
+				s.Name(), b.Op, s.Name())
+		}
+	}
+}
+
+// checkSwitch flags `switch err { case ErrFreed: }` — the same identity
+// comparison in clause clothing.
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[s.Tag]; !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if sent := lintutil.SentinelError(pass.TypesInfo, e); sent != nil {
+				pass.Reportf(e.Pos(),
+					"switch case compares %s by identity; sentinel errors travel wrapped — use errors.Is",
+					sent.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf("... %v ...", Sentinel): the sentinel is
+// flattened into a string and errors.Is stops matching downstream.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(lit.Value)
+	for i, arg := range call.Args[1:] {
+		sent := lintutil.SentinelError(pass.TypesInfo, arg)
+		if sent == nil {
+			continue
+		}
+		if i < len(verbs) && verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"%s is formatted with %%%c; wrap sentinel errors with %%w so errors.Is keeps matching",
+				sent.Name(), verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter of each argument-consuming
+// directive from a (quoted) format string. Width/precision stars are rare
+// in this codebase and are not modeled; unknown cases yield extra verbs,
+// which at worst mis-align and suppress a finding, never fabricate one...
+// except misalignment could also attribute %v to the wrong argument, so
+// explicit argument indexes (%[1]d) bail out entirely.
+func formatVerbs(quoted string) []byte {
+	var verbs []byte
+	s := quoted
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '%' {
+			continue
+		}
+		if s[i] == '[' {
+			return nil // explicit indexes: give up rather than misreport
+		}
+		for i < len(s) && strings.ContainsRune("+-# 0123456789.", rune(s[i])) {
+			i++
+		}
+		if i < len(s) {
+			verbs = append(verbs, s[i])
+		}
+	}
+	return verbs
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error" || types.Implements(t, errorIface())
+}
+
+func errorIface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

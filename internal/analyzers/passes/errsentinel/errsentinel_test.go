@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"github.com/memadapt/masort/internal/analyzers/analysistest"
+	"github.com/memadapt/masort/internal/analyzers/passes/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "errsentinel")
+}

@@ -1,0 +1,54 @@
+// Package errsentinel is the golden fixture for the errsentinel analyzer.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFreed mirrors masort.ErrFreed: a package-level sentinel.
+var ErrFreed = errors.New("result already freed")
+
+// ErrPoolSaturated mirrors masort.ErrPoolSaturated.
+var ErrPoolSaturated = errors.New("pool saturated")
+
+// notASentinel is unexported and not named Err*.
+var notASentinel = errors.New("something else")
+
+func compare(err error) bool {
+	if err == ErrFreed { // want `ErrFreed is compared with ==; sentinel errors travel wrapped — use errors\.Is\(err, ErrFreed\)`
+		return true
+	}
+	if ErrPoolSaturated != err { // want `ErrPoolSaturated is compared with !=`
+		return false
+	}
+	if err == notASentinel { // identity on a private non-sentinel: not flagged
+		return true
+	}
+	if err == nil { // nil checks are fine
+		return false
+	}
+	return errors.Is(err, ErrFreed) // the blessed form
+}
+
+func switchOn(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrFreed: // want `switch case compares ErrFreed by identity`
+		return "freed"
+	default:
+		return "other"
+	}
+}
+
+func wrap(id int, err error) error {
+	if err != nil {
+		return fmt.Errorf("run %d: %v", id, ErrFreed) // want `ErrFreed is formatted with %v; wrap sentinel errors with %w`
+	}
+	return fmt.Errorf("run %d: %w", id, ErrFreed) // %w is the blessed form
+}
+
+func wrapAllowed(err error) error {
+	return fmt.Errorf("broken: %v", ErrFreed) //masortlint:allow errsentinel -- exercising the suppression directive
+}

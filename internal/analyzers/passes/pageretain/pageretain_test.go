@@ -1,0 +1,12 @@
+package pageretain_test
+
+import (
+	"testing"
+
+	"github.com/memadapt/masort/internal/analyzers/analysistest"
+	"github.com/memadapt/masort/internal/analyzers/passes/pageretain"
+)
+
+func TestPageRetain(t *testing.T) {
+	analysistest.Run(t, "testdata", pageretain.Analyzer, "store")
+}

@@ -1,0 +1,18 @@
+// Package core is a miniature copy of the engine's page vocabulary for
+// the pageretain fixtures: the analyzer recognizes the []Page shape, not
+// the real import path.
+package core
+
+// Record is one sort record.
+type Record struct {
+	Key     uint64
+	Payload []byte
+}
+
+// Page is one fixed-capacity batch of records.
+type Page []Record
+
+// WriteToken resolves when an asynchronous store write completes.
+type WriteToken interface {
+	Wait() error
+}

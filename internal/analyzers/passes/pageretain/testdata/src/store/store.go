@@ -1,0 +1,159 @@
+// Package store exercises pageretain: Append page retention (rule A),
+// use-after-recycle of pooled buffers (rule B), and discarded DecodePage
+// alias accounting (rule C).
+package store
+
+import (
+	"sync"
+
+	"core"
+	"pagecodec"
+)
+
+// goodStore is the MemStore idiom: Append deep-copies every page before
+// retaining anything, so the caller may recycle its buffers the moment
+// the token completes.
+type goodStore struct {
+	runs map[int][]core.Page
+}
+
+func (s *goodStore) Append(id int, pages []core.Page) error {
+	for _, p := range pages {
+		cp := make(core.Page, len(p))
+		copy(cp, p)
+		s.runs[id] = append(s.runs[id], cp)
+	}
+	return nil
+}
+
+// badStore retains the caller's pages directly: every page it "stores"
+// will be overwritten the next time the engine recycles its output
+// buffers.
+type badStore struct {
+	runs  map[int][]core.Page
+	last  core.Page
+	stash []core.Page
+}
+
+func (s *badStore) Append(id int, pages []core.Page) error {
+	s.runs[id] = append(s.runs[id], pages...) // want `page slice from Append is stored in a map or slice element`
+	return nil
+}
+
+// badStoreElem retains a single element through a range variable.
+type badStoreElem struct{ badStore }
+
+func (s *badStoreElem) Append(id int, pages []core.Page) error {
+	for _, p := range pages {
+		s.last = p // want `page slice from Append is stored in a struct field`
+	}
+	return nil
+}
+
+// badStoreLocal launders the slice through a local before retaining it.
+type badStoreLocal struct{ badStore }
+
+func (s *badStoreLocal) Append(id int, pages []core.Page) error {
+	view := pages[1:]
+	s.stash = view // want `page slice from Append is stored in a struct field`
+	return nil
+}
+
+// badStoreGo hands the pages to a goroutine whose lifetime nothing ties
+// to the write token.
+type badStoreGo struct{ badStore }
+
+func (s *badStoreGo) Append(id int, pages []core.Page) error {
+	go func() {
+		for range pages { // want `page slice pages captured by a goroutine launched from Append`
+		}
+	}()
+	return nil
+}
+
+// encodingStore is the FileStore idiom: pages are encoded into a private
+// buffer inside Append; only the encoding is retained. Clean.
+type encodingStore struct {
+	bufs sync.Pool
+	log  [][]byte
+}
+
+func (s *encodingStore) Append(id int, pages []core.Page) error {
+	buf := s.getBuf()
+	for _, pg := range pages {
+		buf = pagecodec.AppendPage(buf, pg)
+	}
+	s.log = append(s.log, buf)
+	return nil
+}
+
+func (s *encodingStore) getBuf() []byte {
+	b, _ := s.bufs.Get().(*[]byte)
+	if b == nil {
+		return nil
+	}
+	return (*b)[:0]
+}
+
+func (s *encodingStore) putBuf(b []byte) {
+	s.bufs.Put(&b)
+}
+
+// readGood recycles the read buffer only on the no-alias path and never
+// touches it afterwards.
+func (s *encodingStore) readGood(buf []byte) (core.Page, error) {
+	pg, alias, _, err := pagecodec.DecodePage(buf)
+	if err != nil {
+		s.putBuf(buf)
+		return nil, err
+	}
+	if alias == 0 {
+		s.putBuf(buf)
+	}
+	return pg, nil
+}
+
+// readUseAfterPut recycles the buffer and then keeps decoding from it.
+func (s *encodingStore) readUseAfterPut(buf []byte) (core.Page, error) {
+	s.putBuf(buf)
+	pg, _, _, err := pagecodec.DecodePage(buf) // want `buffer buf used after being returned to the pool` `aliasBytes result of DecodePage is discarded`
+	return pg, err
+}
+
+// readPoolPut recycles through sync.Pool.Put directly.
+func (s *encodingStore) readPoolPut(buf []byte) int {
+	s.bufs.Put(&buf)
+	return len(buf) // want `buffer buf used after being returned to the pool`
+}
+
+// readReassigned gets a fresh buffer after recycling the old one: the
+// later uses refer to the new allocation. Clean.
+func (s *encodingStore) readReassigned(buf []byte) int {
+	s.putBuf(buf)
+	buf = s.getBuf()
+	return len(buf)
+}
+
+// readDropAlias recycles the buffer on an error path while discarding the
+// aliasBytes result that says whether pg still points into it.
+func (s *encodingStore) readDropAlias(buf []byte) (core.Page, error) {
+	pg, _, _, err := pagecodec.DecodePage(buf) // want `aliasBytes result of DecodePage is discarded`
+	if err != nil {
+		s.putBuf(buf)
+		return nil, err
+	}
+	return pg, nil
+}
+
+// readAliasHonored keeps the aliasBytes result and gates the recycle on
+// it. Clean.
+func (s *encodingStore) readAliasHonored(buf []byte) (core.Page, error) {
+	pg, alias, _, err := pagecodec.DecodePage(buf)
+	if err != nil || alias == 0 {
+		s.putBuf(buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}

@@ -1,0 +1,20 @@
+// Package passes registers the masortlint analyzer suite.
+package passes
+
+import (
+	"github.com/memadapt/masort/internal/analyzers/analysis"
+	"github.com/memadapt/masort/internal/analyzers/passes/errsentinel"
+	"github.com/memadapt/masort/internal/analyzers/passes/pageretain"
+	"github.com/memadapt/masort/internal/analyzers/passes/simdeterminism"
+	"github.com/memadapt/masort/internal/analyzers/passes/traceguard"
+)
+
+// All returns the full masortlint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errsentinel.Analyzer,
+		pageretain.Analyzer,
+		simdeterminism.Analyzer,
+		traceguard.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"github.com/memadapt/masort/internal/analyzers/analysistest"
+	"github.com/memadapt/masort/internal/analyzers/passes/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "sim", "outofscope")
+}

@@ -1,0 +1,15 @@
+// Package outofscope is not one of the simulator packages, so the
+// determinism rules do not apply to it.
+package outofscope
+
+import "time"
+
+// WallClock may freely read the real clock here.
+func WallClock() time.Time {
+	return time.Now()
+}
+
+// Spawn may freely start goroutines here.
+func Spawn(fn func()) {
+	go fn()
+}

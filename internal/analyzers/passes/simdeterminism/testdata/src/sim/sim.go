@@ -1,0 +1,55 @@
+// Package sim is the golden fixture for the simdeterminism analyzer: its
+// package name places it under the determinism contract.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the simulated clock the package is supposed to use.
+type Clock struct{ now time.Duration }
+
+// Now returns simulated time; calling it is fine (it is not time.Now).
+func (c *Clock) Now() time.Duration { return c.now }
+
+func wallClock() time.Duration {
+	t := time.Now() // want `time\.Now in simulator package sim: use the simulated clock`
+	return time.Since(t)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global random source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned form
+	return r.Intn(10)
+}
+
+func spawn(fn func()) {
+	go fn() // want `goroutine spawned in simulator package sim`
+}
+
+func spawnAllowed(fn func()) {
+	//masortlint:allow simdeterminism -- lock-step handoff: the spawned goroutine runs only while the caller is parked
+	go fn()
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in simulator package sim`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceOrder(s []int) int {
+	total := 0
+	for _, v := range s { // slices have defined order: not flagged
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,52 @@
+// Package trace is a miniature copy of the engine's trace vocabulary for
+// the traceguard fixtures: the analyzer recognizes the Tracer/Event shape,
+// not the real import path.
+package trace
+
+import "time"
+
+// Event is one trace event.
+type Event struct {
+	Kind  int
+	Time  time.Time
+	Op    uint64
+	Bytes int64
+	Dur   time.Duration
+}
+
+// Tracer receives engine events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// multi fans one event out to several tracers in order. Its Emit forwards
+// to interface tracers without any per-sink recovery — the exact pre-fix
+// shape of trace.Multi in this repo (a panicking first sink starved every
+// later sink of the event).
+type multi []Tracer
+
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e) // want `direct Tracer\.Emit call outside a guarded emit helper`
+	}
+}
+
+// guarded is the fixed fan-out: per-sink delivery through a helper with a
+// nil check and a deferred recover.
+type guarded []Tracer
+
+func (g guarded) Emit(e Event) {
+	for _, t := range g {
+		emitOne(t, e)
+	}
+}
+
+func emitOne(t Tracer, e Event) {
+	if t == nil {
+		return
+	}
+	defer func() {
+		_ = recover()
+	}()
+	t.Emit(e) // inside a guarded emit helper: not flagged
+}

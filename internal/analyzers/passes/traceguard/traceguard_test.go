@@ -1,0 +1,12 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"github.com/memadapt/masort/internal/analyzers/analysistest"
+	"github.com/memadapt/masort/internal/analyzers/passes/traceguard"
+)
+
+func TestTraceGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", traceguard.Analyzer, "trace", "engine")
+}

@@ -1,0 +1,147 @@
+// Package runner drives a set of analyzers over loaded packages, applying
+// masortlint's suppression directives and ordering the findings
+// deterministically.
+package runner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/memadapt/masort/internal/analyzers/analysis"
+	"github.com/memadapt/masort/internal/analyzers/load"
+)
+
+// Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// suppression directives are reported.
+const DirectiveAnalyzer = "masortlint"
+
+// directiveRE matches masortlint's suppression comment:
+//
+//	//masortlint:allow name1,name2 -- reason
+//
+// The justification after "--" is mandatory: every suppressed contract
+// violation must say why it is safe.
+var directiveRE = regexp.MustCompile(`^//masortlint:allow\s+([A-Za-z0-9_,\s]+?)\s*(--\s*(.*))?$`)
+
+// directives records, per file and line, which analyzers are suppressed.
+type directives struct {
+	allow map[string]map[int]map[string]bool // filename -> line -> analyzer set
+	bad   []Finding                          // malformed directives
+}
+
+// collect scans a file's comments for suppression directives. A directive
+// suppresses matching diagnostics on its own line and on the next line (so
+// it can trail the flagged statement or sit on its own line above it).
+func (d *directives) collect(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//masortlint:") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := directiveRE.FindStringSubmatch(c.Text)
+			if m == nil || !strings.HasPrefix(strings.TrimPrefix(c.Text, "//masortlint:"), "allow") {
+				d.bad = append(d.bad, Finding{
+					Analyzer: DirectiveAnalyzer, Pos: pos,
+					Message: "malformed directive; use //masortlint:allow <analyzer>[,<analyzer>] -- <reason>",
+				})
+				continue
+			}
+			if strings.TrimSpace(m[3]) == "" {
+				d.bad = append(d.bad, Finding{
+					Analyzer: DirectiveAnalyzer, Pos: pos,
+					Message: "masortlint:allow directive requires a justification after \"--\"",
+				})
+				continue
+			}
+			if d.allow == nil {
+				d.allow = map[string]map[int]map[string]bool{}
+			}
+			lines := d.allow[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				d.allow[pos.Filename] = lines
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = map[string]bool{}
+						lines[ln] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+}
+
+func (d *directives) suppressed(analyzer string, pos token.Position) bool {
+	return d.allow[pos.Filename][pos.Line][analyzer]
+}
+
+// Run executes every analyzer over every package. Suppressed findings are
+// dropped; malformed directives are themselves findings. The result is
+// sorted by position then analyzer name.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		var dirs directives
+		for _, f := range pkg.Syntax {
+			dirs.collect(pkg.Fset, f)
+		}
+		out = append(out, dirs.bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if dirs.suppressed(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -360,15 +360,11 @@ func Rate(o Options) ([]Table, error) {
 			)
 		}
 	}
-	// point.algo carries a ;suffix tag: strip before parsing.
-	res := make(map[string]*simenv.Result)
-	resolved, err := runPoints(o, pts)
+	res, err := runPoints(o, pts)
 	if err != nil {
 		return nil, err
 	}
-	for k, v := range resolved {
-		res[k] = v
-	}
+	// point.algo carries a ;suffix tag, folded into the lookup key.
 	get := func(a, speed string, mb float64) *simenv.Result {
 		return res[point{algo: a + ";" + speed, mb: mb}.key()]
 	}

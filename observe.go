@@ -230,11 +230,12 @@ func (t *tracedToken) Wait() error {
 		t.s.writes.Add(1)
 		t.s.bytesWritten.Add(t.bytes)
 		t.s.writeNanos.Add(int64(d))
-		ot := t.s.ot
-		emitSafe(ot.tr, trace.Event{
-			Kind: trace.KindStoreWrite, Time: time.Now(), Op: ot.id,
-			Bytes: t.bytes, Dur: d,
-		}, &ot.panics)
+		if ot := t.s.ot; ot.tr != nil {
+			emitSafe(ot.tr, trace.Event{
+				Kind: trace.KindStoreWrite, Time: time.Now(), Op: ot.id,
+				Bytes: t.bytes, Dur: d,
+			}, &ot.panics)
+		}
 	}
 	return err
 }
@@ -259,11 +260,12 @@ func (t *tracedPageToken) Wait() (Page, error) {
 		t.s.reads.Add(1)
 		t.s.bytesRead.Add(bytes)
 		t.s.readNanos.Add(int64(d))
-		ot := t.s.ot
-		emitSafe(ot.tr, trace.Event{
-			Kind: trace.KindStoreRead, Time: time.Now(), Op: ot.id,
-			Bytes: bytes, Dur: d,
-		}, &ot.panics)
+		if ot := t.s.ot; ot.tr != nil {
+			emitSafe(ot.tr, trace.Event{
+				Kind: trace.KindStoreRead, Time: time.Now(), Op: ot.id,
+				Bytes: bytes, Dur: d,
+			}, &ot.panics)
+		}
 	}
 	return pg, err
 }

@@ -386,6 +386,53 @@ func TestObserverPanicsRecovered(t *testing.T) {
 	}
 }
 
+type stubToken struct{}
+
+func (stubToken) Wait() error { return nil }
+
+type stubPageToken struct{ pg Page }
+
+func (s stubPageToken) Wait() (Page, error) { return s.pg, nil }
+
+// TestTracedTokenGuardsNilTracer pins the untraced-path guard on the
+// store-latency wrappers: the first Wait always feeds the stats counters,
+// but the trace event (and the work of building it) must be gated on the
+// tracer locally — not on the cross-file invariant that tracedStore is
+// only installed when a tracer exists. Exactly one event per token with a
+// tracer, none without.
+func TestTracedTokenGuardsNilTracer(t *testing.T) {
+	for _, withTracer := range []bool{false, true} {
+		rec := &collectTracer{}
+		ot := &opTrace{}
+		if withTracer {
+			ot.tr = rec
+		}
+		s := &tracedStore{ot: ot}
+		tok := &tracedToken{Token: stubToken{}, s: s, start: time.Now(), bytes: 123}
+		for i := 0; i < 2; i++ {
+			if err := tok.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ptok := &tracedPageToken{PageToken: stubPageToken{}, s: s, start: time.Now()}
+		for i := 0; i < 2; i++ {
+			if _, err := ptok.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w, r := s.writes.Load(), s.reads.Load(); w != 1 || r != 1 {
+			t.Fatalf("tracer=%v: stats counted writes=%d reads=%d, want 1 each", withTracer, w, r)
+		}
+		want := 0
+		if withTracer {
+			want = 2
+		}
+		if got := len(rec.events()); got != want {
+			t.Fatalf("tracer=%v: %d events emitted, want %d", withTracer, got, want)
+		}
+	}
+}
+
 // TestChromeTraceFromSort runs a real adaptive sort through the Chrome
 // writer and checks the output is structurally valid trace_event JSON.
 func TestChromeTraceFromSort(t *testing.T) {

@@ -163,13 +163,34 @@ type Tracer interface {
 	Emit(Event)
 }
 
-// multi fans one event out to several tracers in order.
+// multi fans one event out to several tracers in order. Each sink is
+// delivered to independently: a panicking sink cannot starve the sinks
+// after it of the event. The first panic is re-raised once after the
+// fan-out so the engine's guarded emit helper still observes (and counts)
+// it.
 type multi []Tracer
 
 func (m multi) Emit(e Event) {
+	var panicked any
 	for _, t := range m {
-		t.Emit(e)
+		if v := emitOne(t, e); v != nil && panicked == nil {
+			panicked = v
+		}
 	}
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// emitOne delivers one event to one sink, converting a sink panic into a
+// return value so the caller can finish the fan-out first.
+func emitOne(t Tracer, e Event) (recovered any) {
+	if t == nil {
+		return nil
+	}
+	defer func() { recovered = recover() }()
+	t.Emit(e)
+	return nil
 }
 
 // Multi composes tracers into one that forwards every event to each of

@@ -54,6 +54,30 @@ func TestMultiFanOutAndNils(t *testing.T) {
 	}
 }
 
+type panicTracer struct{}
+
+func (panicTracer) Emit(Event) { panic("sink bug") }
+
+// TestMultiPanickingSinkIsolated pins the fan-out isolation contract: a
+// panicking sink must not starve later sinks of the event, and the panic
+// must still surface once to the caller (the engine's guarded emit helper
+// counts it there).
+func TestMultiPanickingSinkIsolated(t *testing.T) {
+	rec := &recordTracer{}
+	m := Multi(panicTracer{}, rec, panicTracer{})
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		m.Emit(Event{Kind: KindRun})
+	}()
+	if recovered == nil {
+		t.Fatal("sink panic swallowed: the caller's emit helper can no longer count it")
+	}
+	if len(rec.evs) != 1 || rec.evs[0].Kind != KindRun {
+		t.Fatalf("sink after a panicking sink got %d events, want 1", len(rec.evs))
+	}
+}
+
 func TestMetricsCountersAndExport(t *testing.T) {
 	m := NewMetrics()
 	m.Emit(Event{Kind: KindOpBegin, Name: "sort"})
