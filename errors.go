@@ -20,6 +20,24 @@ var ErrFreed = errors.New("masort: result already freed")
 // report true.
 var ErrCanceled = errors.New("masort: operation canceled")
 
+// ErrCorruptPage is in the error chain when a run store read back bytes
+// that fail the page checksum (or cannot be decoded at all under a
+// checksummed framing): the storage returned data, but not the data that
+// was written. The store re-reads once before surfacing it — a persistent
+// ErrCorruptPage means the corruption is on the medium, not in transit.
+var ErrCorruptPage = errors.New("masort: corrupt page")
+
+// ErrStoreFailed is in the error chain when a run store operation failed
+// terminally: a permanent I/O error (ENOSPC, read-only filesystem), or a
+// transient one that survived the configured retry budget. The original
+// cause is preserved in the chain, so both
+//
+//	errors.Is(err, masort.ErrStoreFailed)
+//	errors.Is(err, syscall.ENOSPC) // or whatever the device reported
+//
+// report true.
+var ErrStoreFailed = errors.New("masort: run store failed")
+
 // wrapCtxErr maps context cancellation onto ErrCanceled, keeping the
 // original error in the chain; other errors pass through unchanged. The
 // wrap is gated on the OPERATION's context actually being done: an input

@@ -1,12 +1,14 @@
 package masort
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/memadapt/masort/internal/pagecodec"
@@ -43,6 +45,15 @@ const writeQueueDepth = 4
 // A read of a page whose write is still queued waits for durability first,
 // so the RunStore contract ("readable once the Append token completes")
 // holds even under concurrent use across runs.
+//
+// The store does not assume a perfect disk. Pages are framed with a
+// CRC32-Castagnoli checksum by default (WithPageChecksums), a corrupt page
+// is re-read once before the read fails with ErrCorruptPage in the chain,
+// and WithStoreRetry turns transient I/O errors into bounded retries with
+// backoff. Errors that survive retry — or are classified permanent up
+// front, like ENOSPC — wrap ErrStoreFailed; a write that fails terminally
+// breaks the whole run (rollback to the durable prefix, every subsequent
+// Append, Wait and read on it reports the failure).
 type FileStore struct {
 	dir string
 	own bool // remove dir on Close
@@ -50,15 +61,23 @@ type FileStore struct {
 	readSem chan struct{} // bounds concurrently executing page reads
 	bufs    sync.Pool     // *[]byte encode / read buffers
 
-	// failWrite, when non-nil, is consulted before every background WriteAt;
-	// a non-nil return fails the write — a test hook for exercising the
-	// mid-run write-failure rollback path. Set it at construction time (via
-	// a FileStoreOption) so the writer goroutines see it safely.
-	failWrite func(off int64, b []byte) error
+	// sums selects the checksummed page framing (on by default). All runs
+	// of one store share a framing; toggling it on a store with live runs
+	// would make them undecodable, hence construction-time only.
+	sums bool
+
+	// retry is the store's I/O retry policy; the zero value means a single
+	// attempt. Construction-time only, so writer goroutines read it safely.
+	retry RetryPolicy
+
+	// faults, when non-nil, intercepts the physical I/O for fault
+	// injection; see FaultHooks. Construction-time only.
+	faults FaultHooks
 
 	// tr, when set, receives a queue-depth sample (KindStoreQueue) on every
-	// enqueue/dequeue of the async write pipeline, summed across runs. Set
-	// at construction (WithStoreTracer) so the writer goroutines see it
+	// enqueue/dequeue of the async write pipeline, summed across runs, plus
+	// KindStoreRetry / KindStoreGaveUp events from the retry layer. Set at
+	// construction (WithStoreTracer) so the writer goroutines see it
 	// safely; qdepth is the running depth.
 	tr     trace.Tracer
 	qdepth atomic.Int64
@@ -66,6 +85,88 @@ type FileStore struct {
 	mu   sync.Mutex
 	runs map[RunID]*fileRun
 	next RunID
+}
+
+// RetryPolicy bounds how a FileStore retries transiently failing I/O.
+// Backoff between the attempts of one operation doubles each time —
+// Backoff, 2*Backoff, 4*Backoff, ... — with no jitter, so fault-injection
+// tests are exactly reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation (first try
+	// included). Values below 1 mean a single attempt, i.e. no retry.
+	MaxAttempts int
+
+	// Backoff is the delay before the first retry; zero retries
+	// immediately.
+	Backoff time.Duration
+}
+
+// attempts returns the per-operation attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retrying after the attempt-th failure
+// (1-based): Backoff doubled per failed attempt, jitter-free.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	if attempt > 1+30 { // clamp the shift; nobody backs off for 2^30 periods
+		attempt = 1 + 30
+	}
+	return p.Backoff << (attempt - 1)
+}
+
+// FaultHooks intercepts a FileStore's physical I/O for deterministic fault
+// injection (see internal/faultinject for the scriptable implementation).
+// Implementations must be safe for concurrent use: writes arrive from
+// per-run writer goroutines and reads from the read worker pool.
+type FaultHooks interface {
+	// BeforeWrite is consulted before each WriteAt attempt of an encoded
+	// batch at off. Returning a non-nil error fails the attempt; when
+	// short > 0 the store first lands the leading short bytes — a torn
+	// write, so rollback and retry paths see real partial data on disk.
+	BeforeWrite(off int64, b []byte) (short int, err error)
+
+	// AfterRead is consulted after each ReadAt attempt has filled b and may
+	// fail the attempt or mutate b in place (bit rot for the checksum layer
+	// to catch).
+	AfterRead(off int64, b []byte) error
+}
+
+// errClass is the retry layer's error taxonomy.
+type errClass uint8
+
+const (
+	// classTransient errors may succeed on retry (EINTR, injected
+	// timeouts); unknown errors default here because a bounded retry of a
+	// truly broken device only delays the inevitable failure slightly.
+	classTransient errClass = iota
+	// classPermanent errors will not improve with retry: out of space,
+	// read-only filesystem, or anything self-reporting Temporary() == false.
+	classPermanent
+)
+
+// classifyIOErr buckets an I/O error for the retry policy: ENOSPC / EROFS
+// are permanent, errors exposing Temporary() bool (net.Error style, and
+// faultinject's injected errors) speak for themselves, everything else is
+// presumed transient.
+func classifyIOErr(err error) errClass {
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EROFS) {
+		return classPermanent
+	}
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) {
+		if t.Temporary() {
+			return classTransient
+		}
+		return classPermanent
+	}
+	return classTransient
 }
 
 // FileStoreOption configures a FileStore.
@@ -79,6 +180,34 @@ func WithReadConcurrency(n int) FileStoreOption {
 			s.readSem = make(chan struct{}, n)
 		}
 	}
+}
+
+// WithPageChecksums selects whether run pages are framed with a
+// CRC32-Castagnoli checksum (default true). With checksums on, a read that
+// returns different bytes than were written fails with ErrCorruptPage in
+// the chain (after one silent re-read) instead of decoding garbage; the
+// cost is 5 bytes per page and one CRC pass per append and read. Turning
+// them off restores the legacy frame, byte-compatible with stores from
+// before checksums existed.
+func WithPageChecksums(on bool) FileStoreOption {
+	return func(s *FileStore) { s.sums = on }
+}
+
+// WithStoreRetry sets the store's retry policy for transiently failing
+// I/O: each read attempt and each background write attempt gets
+// p.MaxAttempts tries with doubling backoff before the operation fails
+// with ErrStoreFailed in the chain. Permanent errors (ENOSPC, EROFS,
+// anything reporting Temporary() == false) skip the retries and fail
+// fast. The default is a single attempt — no retry.
+func WithStoreRetry(p RetryPolicy) FileStoreOption {
+	return func(s *FileStore) { s.retry = p }
+}
+
+// WithStoreFaults installs fault-injection hooks on the store's physical
+// I/O. Meant for tests (see internal/faultinject); a nil hook leaves the
+// I/O untouched.
+func WithStoreFaults(h FaultHooks) FileStoreOption {
+	return func(s *FileStore) { s.faults = h }
 }
 
 // WithStoreTracer attaches a tracer to the store: the async write
@@ -98,6 +227,19 @@ func (s *FileStore) noteQueue(delta int64) {
 	}
 	d := s.qdepth.Add(delta)
 	emitSafe(s.tr, trace.Event{Kind: trace.KindStoreQueue, Time: time.Now(), Pages: int(d)}, nil)
+}
+
+// noteFault emits one retry-layer event (KindStoreRetry / KindStoreGaveUp):
+// name is "read" or "write", attempt the 1-based attempt that failed,
+// bytes the extent size.
+func (s *FileStore) noteFault(kind trace.Kind, name string, attempt int, bytes int64, err error) {
+	if s.tr == nil {
+		return
+	}
+	emitSafe(s.tr, trace.Event{
+		Kind: kind, Time: time.Now(), Name: name,
+		Pages: attempt, Bytes: bytes, Err: err.Error(),
+	}, nil)
 }
 
 // fileRun is one run file plus its page index and write pipeline. offsets
@@ -127,22 +269,35 @@ type fsWriteJob struct {
 	tok *fsToken
 }
 
-// fsToken is an asynchronous write completion handle.
+// fsToken is an asynchronous write completion handle. retries is written
+// by the run's writer goroutine before done closes; Wait's channel receive
+// orders the reads after it.
 type fsToken struct {
-	done chan struct{}
-	err  error
+	done    chan struct{}
+	err     error
+	retries int
 }
 
 func (t *fsToken) Wait() error { <-t.done; return t.err }
 
+// Retries reports how many failed write attempts were retried before the
+// batch settled. Valid after Wait returns.
+func (t *fsToken) Retries() int { return t.retries }
+
 // fsPageToken is an asynchronous read completion handle.
 type fsPageToken struct {
-	done chan struct{}
-	pg   Page
-	err  error
+	done    chan struct{}
+	pg      Page
+	err     error
+	retries int
 }
 
 func (t *fsPageToken) Wait() (Page, error) { <-t.done; return t.pg, t.err }
+
+// Retries reports how many failed read attempts (transient errors and
+// corruption re-reads) were retried before the read settled. Valid after
+// Wait returns.
+func (t *fsPageToken) Retries() int { return t.retries }
 
 // NewFileStore creates a run store in dir; dir is created if missing. If
 // dir is empty, a fresh temporary directory is used and removed on Close.
@@ -163,6 +318,7 @@ func NewFileStore(dir string, opts ...FileStoreOption) (*FileStore, error) {
 		own:     own,
 		runs:    map[RunID]*fileRun{},
 		readSem: make(chan struct{}, DefaultReadConcurrency),
+		sums:    true,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -236,10 +392,11 @@ func (s *FileStore) Create() (RunID, error) {
 }
 
 // runWriter is the per-run background writer: it lands encoded batches with
-// positional writes and advances the durability watermark. On the first
-// write error it rolls the run back to the last durable page boundary —
-// index entries at or beyond the failed batch are dropped and the file is
-// truncated to match — and fails that batch's token and every later one.
+// positional writes (retried per the store's policy) and advances the
+// durability watermark. When a batch fails terminally it rolls the run back
+// to the last durable page boundary — index entries at or beyond the failed
+// batch are dropped and the file is truncated to match — and fails that
+// batch's token and every later one with the ErrStoreFailed chain.
 func (s *FileStore) runWriter(r *fileRun) {
 	defer close(r.wdone)
 	for job := range r.wq {
@@ -253,13 +410,7 @@ func (s *FileStore) runWriter(r *fileRun) {
 			s.noteQueue(-1)
 			continue
 		}
-		var err error
-		if s.failWrite != nil {
-			err = s.failWrite(job.off, job.buf)
-		}
-		if err == nil {
-			_, err = r.f.WriteAt(job.buf, job.off)
-		}
+		retries, err := s.writeBatch(r, job.off, job.buf)
 		r.mu.Lock()
 		if err != nil {
 			r.werr = err
@@ -273,11 +424,65 @@ func (s *FileStore) runWriter(r *fileRun) {
 		}
 		r.cond.Broadcast()
 		r.mu.Unlock()
+		job.tok.retries = retries
 		job.tok.err = err
 		close(job.tok.done)
 		s.putBuf(job.buf)
 		s.noteQueue(-1)
 	}
+}
+
+// writeBatch lands one encoded batch at off, retrying transient failures
+// per the store's policy. A positional WriteAt retry overwrites whatever a
+// torn earlier attempt left behind, so retries are idempotent. The
+// returned error, if any, is terminal and wraps ErrStoreFailed plus the
+// last cause.
+func (s *FileStore) writeBatch(r *fileRun, off int64, buf []byte) (retries int, err error) {
+	budget := s.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		err = s.writeOnce(r, off, buf)
+		if err == nil {
+			return retries, nil
+		}
+		if classifyIOErr(err) == classPermanent || attempt >= budget || r.isClosing() {
+			s.noteFault(trace.KindStoreGaveUp, "write", attempt, int64(len(buf)), err)
+			return retries, fmt.Errorf("%w: write of %d bytes at %d (attempt %d/%d): %w",
+				ErrStoreFailed, len(buf), off, attempt, budget, err)
+		}
+		retries++
+		s.noteFault(trace.KindStoreRetry, "write", attempt, int64(len(buf)), err)
+		if d := s.retry.backoff(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// writeOnce performs one physical write attempt, routed through the fault
+// hooks when installed. A hook-injected torn write lands its partial bytes
+// for real, so the rollback truncate and retry overwrite are exercised
+// against genuine on-disk state.
+func (s *FileStore) writeOnce(r *fileRun, off int64, buf []byte) error {
+	if s.faults != nil {
+		if short, err := s.faults.BeforeWrite(off, buf); err != nil {
+			if short > 0 {
+				if short > len(buf) {
+					short = len(buf)
+				}
+				_, _ = r.f.WriteAt(buf[:short], off)
+			}
+			return err
+		}
+	}
+	_, err := r.f.WriteAt(buf, off)
+	return err
+}
+
+// isClosing reports whether the run is being torn down — retry loops check
+// it between attempts so Free/Close never waits out a backoff schedule.
+func (r *fileRun) isClosing() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closing
 }
 
 func (s *FileStore) run(id RunID) *fileRun {
@@ -312,7 +517,11 @@ func (s *FileStore) Append(id RunID, pages []Page) (Token, error) {
 	buf := s.getBuf(0)[:0]
 	for _, pg := range pages {
 		r.offsets = append(r.offsets, start+int64(len(buf)))
-		buf = pagecodec.AppendPage(buf, pg)
+		if s.sums {
+			buf = pagecodec.AppendPageSum(buf, pg)
+		} else {
+			buf = pagecodec.AppendPage(buf, pg)
+		}
 	}
 	r.end = start + int64(len(buf))
 	// Registered under the lock so teardownRun cannot close wq between the
@@ -340,12 +549,14 @@ func (s *FileStore) ReadAsync(id RunID, page int) PageToken {
 		r.mu.Unlock()
 		return readyPage{err: fmt.Errorf("masort: read of freed run %d", id)}
 	}
-	if page < 0 || page >= len(r.offsets) {
-		werr := r.werr
+	if werr := r.werr; werr != nil {
+		// The run is broken: even its durable prefix must not be served, or
+		// a merge would consume half a run and only then learn it failed.
 		r.mu.Unlock()
-		if werr != nil {
-			return readyPage{err: fmt.Errorf("masort: read of run %d page %d after write failure: %w", id, page, werr)}
-		}
+		return readyPage{err: fmt.Errorf("masort: read of run %d page %d after write failure: %w", id, page, werr)}
+	}
+	if page < 0 || page >= len(r.offsets) {
+		r.mu.Unlock()
 		return readyPage{err: fmt.Errorf("masort: run %d has no page %d", id, page)}
 	}
 	off := r.offsets[page]
@@ -364,20 +575,20 @@ func (s *FileStore) readPage(r *fileRun, id RunID, page int, off, end int64, tok
 	defer r.readers.Done()
 	defer close(tok.done)
 	// Wait for the page's bytes to be durable (its write may still be in the
-	// background writer's queue).
+	// background writer's queue). A write failure anywhere in the run wakes
+	// and fails this read even if its own bytes are durable: the run is
+	// broken and must not be half-consumed.
 	r.mu.Lock()
 	for r.durable < end && r.werr == nil && !r.closing {
 		r.cond.Wait()
 	}
 	switch {
-	case r.durable >= end:
-		// written; fall through to the read
 	case r.werr != nil:
 		err := r.werr
 		r.mu.Unlock()
 		tok.err = fmt.Errorf("masort: read of run %d page %d after write failure: %w", id, page, err)
 		return
-	default: // closing
+	case r.closing:
 		r.mu.Unlock()
 		tok.err = fmt.Errorf("masort: read of freed run %d", id)
 		return
@@ -386,27 +597,89 @@ func (s *FileStore) readPage(r *fileRun, id RunID, page int, off, end int64, tok
 
 	s.readSem <- struct{}{}
 	defer func() { <-s.readSem }()
+
+	budget := s.retry.attempts()
+	ioAttempt, rereads := 0, 0
+	for {
+		pg, err := s.readOnce(r, off, end)
+		if err == nil {
+			tok.pg = pg
+			return
+		}
+		size := end - off
+		if errors.Is(err, ErrCorruptPage) {
+			// Corruption gets exactly one re-read, whatever the retry
+			// policy: the bytes may have been mangled in transit (bus,
+			// controller, injected bit rot), in which case a second read
+			// heals it. A second mismatch means the medium itself is bad.
+			if rereads < 1 && !r.isClosing() {
+				rereads++
+				tok.retries++
+				s.noteFault(trace.KindStoreRetry, "read", rereads, size, err)
+				continue
+			}
+			s.noteFault(trace.KindStoreGaveUp, "read", 1+rereads, size, err)
+			tok.err = fmt.Errorf("masort: read run %d page %d: %w", id, page, err)
+			return
+		}
+		ioAttempt++
+		if classifyIOErr(err) == classTransient && ioAttempt < budget && !r.isClosing() {
+			tok.retries++
+			s.noteFault(trace.KindStoreRetry, "read", ioAttempt, size, err)
+			if d := s.retry.backoff(ioAttempt); d > 0 {
+				time.Sleep(d)
+			}
+			continue
+		}
+		s.noteFault(trace.KindStoreGaveUp, "read", ioAttempt, size, err)
+		tok.err = fmt.Errorf("masort: read run %d page %d (attempt %d/%d): %w: %w",
+			id, page, ioAttempt, budget, ErrStoreFailed, err)
+		return
+	}
+}
+
+// readOnce performs one physical read-and-decode attempt of the page
+// extent [off, end). A decode or checksum failure returns an error
+// wrapping ErrCorruptPage; a ReadAt failure returns the raw cause for the
+// caller to classify.
+func (s *FileStore) readOnce(r *fileRun, off, end int64) (Page, error) {
 	buf := s.getBuf(int(end - off))
 	if _, err := r.f.ReadAt(buf, off); err != nil {
 		s.putBuf(buf)
-		tok.err = fmt.Errorf("masort: read run %d page %d: %w", id, page, err)
-		return
+		return nil, err
 	}
-	pg, alias, n, err := pagecodec.DecodePage(buf)
+	if s.faults != nil {
+		if err := s.faults.AfterRead(off, buf); err != nil {
+			s.putBuf(buf)
+			return nil, err
+		}
+	}
+	var (
+		pg    Page
+		alias int
+		n     int
+		err   error
+	)
+	if s.sums {
+		pg, alias, n, err = pagecodec.DecodePageSum(buf)
+	} else {
+		pg, alias, n, err = pagecodec.DecodePage(buf)
+	}
 	if err != nil || n != len(buf) {
 		if err == nil {
 			err = fmt.Errorf("page extent is %d bytes, decoded %d", len(buf), n)
 		}
+		// The message references len(buf), so build it before recycling.
+		err = fmt.Errorf("decode of %d-byte extent: %w: %w", len(buf), ErrCorruptPage, err)
 		s.putBuf(buf)
-		tok.err = fmt.Errorf("masort: decode run %d page %d: %w", id, page, err)
-		return
+		return nil, err
 	}
 	if alias == 0 {
 		// No payload bytes escaped into the page: the buffer is dead and can
 		// be recycled now. Otherwise the decoded records own it.
 		s.putBuf(buf)
 	}
-	tok.pg = pg
+	return pg, nil
 }
 
 // Pages returns the number of pages appended so far (durable or queued).

@@ -173,19 +173,20 @@ func TestRunIteratorPropagatesStoreError(t *testing.T) {
 
 // TestFileStoreAppendRollbackOnWriteFailure exercises the mid-run write
 // failure path: the failed batch (and everything after it) must be rolled
-// back — index trimmed, file truncated — leaving the run consistent with
-// exactly its durable pages.
+// back — index trimmed, file truncated — and the whole run sticky-broken:
+// appends and reads (even of the durable prefix) report the failure, Free
+// still works.
 func TestFileStoreAppendRollbackOnWriteFailure(t *testing.T) {
 	var fail atomic.Bool
 	errDiskFull := errors.New("injected: disk full")
-	store, err := NewFileStore(t.TempDir(), func(s *FileStore) {
-		s.failWrite = func(off int64, b []byte) error {
+	store, err := NewFileStore(t.TempDir(), WithStoreFaults(hookFuncs{
+		beforeWrite: func(off int64, b []byte) (int, error) {
 			if fail.Load() {
-				return errDiskFull
+				return -1, errDiskFull
 			}
-			return nil
-		}
-	})
+			return -1, nil
+		},
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,30 +202,27 @@ func TestFileStoreAppendRollbackOnWriteFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err) // the failure surfaces through the token, not Append
 	}
-	if err := tok2.Wait(); !errors.Is(err, errDiskFull) {
-		t.Fatalf("token error = %v, want injected failure", err)
+	if err := tok2.Wait(); !errors.Is(err, errDiskFull) || !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("token error = %v, want injected cause and ErrStoreFailed in the chain", err)
 	}
 
 	// Index rolled back to the durable prefix.
 	if got := store.Pages(id); got != 2 {
 		t.Fatalf("Pages = %d after rollback, want 2", got)
 	}
+	// The broken run refuses reads even of its durable prefix: a consumer
+	// must learn about the failure before consuming half a run.
+	if _, err := store.ReadAsync(id, 0).Wait(); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("read of broken run = %v, want ErrStoreFailed chain", err)
+	}
 	// File truncated to match: no torn bytes past the last durable page.
-	pg0, err := store.ReadAsync(id, 0).Wait()
-	if err != nil || len(pg0) != 1 || pg0[0].Key != 1 {
-		t.Fatalf("surviving page 0 = %v, %v", pg0, err)
-	}
-	pg1, err := store.ReadAsync(id, 1).Wait()
-	if err != nil || pg1[0].Key != 2 {
-		t.Fatalf("surviving page 1 = %v, %v", pg1, err)
-	}
 	fi, err := os.Stat(filepath.Join(store.Dir(), fmt.Sprintf("run-%06d.bin", id)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var wantSize int64
 	for _, pg := range []Page{{{Key: 1}}, {{Key: 2}}} {
-		wantSize += int64(pagecodec.EncodedSize(pg))
+		wantSize += int64(pagecodec.EncodedSizeSum(pg))
 	}
 	if fi.Size() != wantSize {
 		t.Fatalf("file size %d after rollback, want %d", fi.Size(), wantSize)
@@ -234,10 +232,9 @@ func TestFileStoreAppendRollbackOnWriteFailure(t *testing.T) {
 		t.Fatal("read of rolled-back page must fail")
 	}
 	fail.Store(false)
-	if _, err := store.Append(id, []Page{{{Key: 5}}}); err == nil {
-		t.Fatal("append to broken run must fail")
+	if _, err := store.Append(id, []Page{{{Key: 5}}}); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("append to broken run = %v, want ErrStoreFailed chain", err)
 	}
-	// The surviving prefix stays readable and freeable.
 	if err := store.Free(id); err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,14 @@ var ErrFreed = errors.New("result already freed")
 // ErrPoolSaturated mirrors masort.ErrPoolSaturated.
 var ErrPoolSaturated = errors.New("pool saturated")
 
+// ErrCorruptPage mirrors masort.ErrCorruptPage: checksummed storage read
+// back bytes that were never written.
+var ErrCorruptPage = errors.New("corrupt page")
+
+// ErrStoreFailed mirrors masort.ErrStoreFailed: a run store operation
+// failed terminally.
+var ErrStoreFailed = errors.New("run store failed")
+
 // notASentinel is unexported and not named Err*.
 var notASentinel = errors.New("something else")
 
@@ -51,4 +59,27 @@ func wrap(id int, err error) error {
 
 func wrapAllowed(err error) error {
 	return fmt.Errorf("broken: %v", ErrFreed) //masortlint:allow errsentinel -- exercising the suppression directive
+}
+
+// classify mirrors the store's fault taxonomy: the new sentinels obey the
+// same wrapped-travel discipline as the old ones.
+func classify(err error) string {
+	if err == ErrCorruptPage { // want `ErrCorruptPage is compared with ==; sentinel errors travel wrapped — use errors\.Is\(err, ErrCorruptPage\)`
+		return "corrupt"
+	}
+	switch err {
+	case ErrStoreFailed: // want `switch case compares ErrStoreFailed by identity`
+		return "failed"
+	}
+	if errors.Is(err, ErrCorruptPage) { // the blessed form
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+func wrapStore(off int64, err error) error {
+	if off < 0 {
+		return fmt.Errorf("write at %d: %v", off, ErrStoreFailed) // want `ErrStoreFailed is formatted with %v; wrap sentinel errors with %w`
+	}
+	return fmt.Errorf("write at %d: %w: %w", off, ErrStoreFailed, err) // double-%w chains are fine
 }

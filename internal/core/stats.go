@@ -54,6 +54,13 @@ type SortStats struct {
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
 
+	// StoreRetries counts store I/O attempts that failed transiently and
+	// were retried (reads and writes combined, including corruption
+	// re-reads). Like the other store aggregates it is measured at the
+	// store boundary and stays zero when tracing is off or the store has no
+	// retry policy.
+	StoreRetries int
+
 	// EventPanics counts observer callbacks (event hooks, tracers) that
 	// panicked during the operation and were recovered — nonzero means the
 	// observability layer misbehaved, never the sort.

@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScriptedNthAndEvery(t *testing.T) {
+	in := New(
+		Rule{Op: Read, Nth: 3, Fault: Fault{Err: Transient("third read")}},
+		Rule{Op: Write, Every: 2, Count: 2, Fault: Fault{Err: Permanent("even write")}},
+	)
+	// Reads: only the 3rd fails.
+	for i := 1; i <= 5; i++ {
+		err := in.AfterRead(0, make([]byte, 8))
+		if (i == 3) != (err != nil) {
+			t.Fatalf("read %d: err = %v", i, err)
+		}
+	}
+	// Writes: every 2nd fails, at most twice (ops 2 and 4; op 6 passes).
+	var failed []int
+	for i := 1; i <= 6; i++ {
+		if _, err := in.BeforeWrite(0, make([]byte, 8)); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 4 {
+		t.Fatalf("failing writes = %v, want [2 4]", failed)
+	}
+	if in.Ops(Read) != 5 || in.Ops(Write) != 6 || in.Injected() != 3 {
+		t.Fatalf("state = %v", in)
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	in := New(Rule{Op: Read, Nth: 1, Fault: Fault{FlipBit: 14}})
+	b := make([]byte, 4)
+	if err := in.AfterRead(0, b); err != nil {
+		t.Fatal(err)
+	}
+	// FlipBit is 1-based: 14 flips bit index 13 = byte 1, bit 5.
+	if b[1] != 1<<5 || b[0] != 0 || b[2] != 0 || b[3] != 0 {
+		t.Fatalf("buffer after flip = %v", b)
+	}
+	// Second read untouched.
+	b2 := make([]byte, 4)
+	if err := in.AfterRead(0, b2); err != nil || b2[1] != 0 {
+		t.Fatalf("second read altered: %v %v", b2, err)
+	}
+}
+
+func TestShortWriteDecision(t *testing.T) {
+	in := New(Rule{Op: Write, Nth: 1, Fault: Fault{Err: Transient("torn"), Short: 5}})
+	short, err := in.BeforeWrite(0, make([]byte, 10))
+	if err == nil || short != 5 {
+		t.Fatalf("short, err = %d, %v", short, err)
+	}
+	if short, err := in.BeforeWrite(0, make([]byte, 10)); err != nil || short != -1 {
+		t.Fatalf("second write faulted: %d, %v", short, err)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	tr := Transient("x")
+	pe := Permanent("y")
+	type temp interface{ Temporary() bool }
+	var tt temp
+	if !errors.As(tr, &tt) || !tt.Temporary() {
+		t.Fatal("transient error must report Temporary() == true")
+	}
+	if !errors.As(pe, &tt) || tt.Temporary() {
+		t.Fatal("permanent error must report Temporary() == false")
+	}
+	if !IsInjected(tr) || !IsInjected(pe) || IsInjected(errors.New("real")) {
+		t.Fatal("IsInjected misclassifies")
+	}
+}
+
+// TestSeededDeterminism: the same (seed, profile) yields the same decision
+// sequence; a different seed yields a different one.
+func TestSeededDeterminism(t *testing.T) {
+	prof := Profile{PTransientRead: 0.3, PTransientWrite: 0.2, PPermanentWrite: 0.05, PBitFlip: 0.2, PShortWrite: 0.5}
+	trace := func(seed uint64) []bool {
+		in := NewSeeded(seed, prof)
+		var out []bool
+		b := make([]byte, 64)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				out = append(out, in.AfterRead(0, b) != nil)
+			} else {
+				_, err := in.BeforeWrite(0, b)
+				out = append(out, err != nil)
+			}
+		}
+		return out
+	}
+	a, b, c := trace(7), trace(7), trace(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+// TestConcurrentDecisions: concurrent use must be safe (-race) and count
+// every operation exactly once.
+func TestConcurrentDecisions(t *testing.T) {
+	in := NewSeeded(1, Profile{PTransientRead: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := make([]byte, 16)
+			for i := 0; i < 100; i++ {
+				_ = in.AfterRead(0, b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Ops(Read); got != 800 {
+		t.Fatalf("Ops(Read) = %d, want 800", got)
+	}
+}
+
+func TestInjectedDelay(t *testing.T) {
+	in := New(Rule{Op: Read, Nth: 1, Fault: Fault{Delay: 5 * time.Millisecond}})
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept = d }
+	if err := in.AfterRead(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}

@@ -9,14 +9,39 @@
 // records carry payloads. Callers therefore must not mutate the encoded
 // buffer while decoded records are live, and must copy Record.Payload if
 // they retain it past the buffer's lifetime.
+//
+// Two frame versions exist. The legacy frame (AppendPage/DecodePage) is the
+// bare body described above. The checksummed frame (AppendPageSum/
+// DecodePageSum) prefixes the body with a one-byte version marker and a
+// CRC32-Castagnoli of the body, so silent corruption (bit rot, torn reads)
+// is detected instead of decoded. Stores choose a frame per run file and
+// must decode with the matching function: the two framings are not
+// self-describing on the wire.
 package pagecodec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"github.com/memadapt/masort/internal/core"
 )
+
+// ErrChecksum is returned (wrapped) by DecodePageSum when the frame is
+// structurally broken or the body fails CRC verification — the page bytes
+// are corrupt and must not be trusted.
+var ErrChecksum = errors.New("pagecodec: page checksum mismatch")
+
+const (
+	// sumMarker is the version byte opening a checksummed frame.
+	sumMarker = 0xA5
+	// sumOverhead is the framing cost of a checksummed page: the marker
+	// byte plus a 4-byte little-endian CRC32-Castagnoli of the body.
+	sumOverhead = 5
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendPage appends the wire encoding of pg to buf and returns the
 // extended buffer. It never fails: the encoding is defined for every page.
@@ -89,4 +114,48 @@ func DecodePage(buf []byte) (pg core.Page, aliasBytes int, read int, err error) 
 		pg = append(pg, core.Record{Key: key, Payload: payload})
 	}
 	return pg, aliasBytes, pos, nil
+}
+
+// AppendPageSum appends the checksummed encoding of pg to buf: the version
+// marker, a little-endian CRC32-Castagnoli over the legacy body, then the
+// body itself. Like AppendPage it never fails.
+func AppendPageSum(buf []byte, pg core.Page) []byte {
+	start := len(buf)
+	buf = append(buf, sumMarker, 0, 0, 0, 0)
+	buf = AppendPage(buf, pg)
+	sum := crc32.Checksum(buf[start+sumOverhead:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[start+1:], sum)
+	return buf
+}
+
+// EncodedSizeSum returns the exact number of bytes AppendPageSum will
+// append for pg.
+func EncodedSizeSum(pg core.Page) int {
+	return sumOverhead + EncodedSize(pg)
+}
+
+// DecodePageSum decodes one checksummed page from the front of buf,
+// verifying the body CRC before returning records. A bad marker, a
+// truncated frame, a structurally broken body or a CRC mismatch all return
+// an error wrapping ErrChecksum: with a checksummed frame, any decode
+// failure means the bytes on disk are not the bytes that were written.
+// Alias and read semantics match DecodePage (read includes the frame
+// overhead).
+func DecodePageSum(buf []byte) (pg core.Page, aliasBytes int, read int, err error) {
+	if len(buf) < sumOverhead {
+		return nil, 0, 0, fmt.Errorf("pagecodec: frame truncated to %d bytes: %w", len(buf), ErrChecksum)
+	}
+	if buf[0] != sumMarker {
+		return nil, 0, 0, fmt.Errorf("pagecodec: bad frame marker %#02x: %w", buf[0], ErrChecksum)
+	}
+	want := binary.LittleEndian.Uint32(buf[1:])
+	body := buf[sumOverhead:]
+	pg, aliasBytes, read, err = DecodePage(body)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%v: %w", err, ErrChecksum)
+	}
+	if got := crc32.Checksum(body[:read], castagnoli); got != want {
+		return nil, 0, 0, fmt.Errorf("pagecodec: crc %08x != stored %08x: %w", got, want, ErrChecksum)
+	}
+	return pg, aliasBytes, sumOverhead + read, nil
 }

@@ -2,6 +2,7 @@ package pagecodec
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -104,5 +105,90 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSumRoundTrip(t *testing.T) {
+	pages := []core.Page{
+		nil,
+		{},
+		{{Key: 1}},
+		{{Key: 1}, {Key: 2, Payload: []byte{}}, {Key: 3, Payload: []byte("abc")}},
+		{{Key: ^uint64(0), Payload: bytes.Repeat([]byte{0xAB}, 70000)}},
+	}
+	var buf []byte
+	var offs []int
+	for _, pg := range pages {
+		if got, want := EncodedSizeSum(pg), len(AppendPageSum(nil, pg)); got != want {
+			t.Fatalf("EncodedSizeSum = %d, encoding is %d bytes", got, want)
+		}
+		offs = append(offs, len(buf))
+		buf = AppendPageSum(buf, pg)
+	}
+	for i, pg := range pages {
+		got, alias, read, err := DecodePageSum(buf[offs[i]:])
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if read != EncodedSizeSum(pg) {
+			t.Fatalf("page %d: consumed %d bytes, want %d", i, read, EncodedSizeSum(pg))
+		}
+		if len(got) != len(pg) {
+			t.Fatalf("page %d: %d records, want %d", i, len(got), len(pg))
+		}
+		wantAlias := 0
+		for j := range pg {
+			if got[j].Key != pg[j].Key || !bytes.Equal(got[j].Payload, pg[j].Payload) {
+				t.Fatalf("page %d record %d: got %+v want %+v", i, j, got[j], pg[j])
+			}
+			wantAlias += len(pg[j].Payload)
+		}
+		if alias != wantAlias {
+			t.Fatalf("page %d: aliasBytes %d, want %d", i, alias, wantAlias)
+		}
+	}
+}
+
+// TestSumDetectsEveryBitFlip: flipping any single bit of a checksummed
+// frame must surface ErrChecksum — that is the whole point of the frame.
+func TestSumDetectsEveryBitFlip(t *testing.T) {
+	pg := core.Page{{Key: 42, Payload: []byte("the quick brown fox")}, {Key: 43}}
+	good := AppendPageSum(nil, pg)
+	for byteIdx := 0; byteIdx < len(good); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[byteIdx] ^= 1 << bit
+			if _, _, _, err := DecodePageSum(bad); err == nil {
+				t.Fatalf("flip of byte %d bit %d decoded without error", byteIdx, bit)
+			} else if !errors.Is(err, ErrChecksum) {
+				t.Fatalf("flip of byte %d bit %d: error %v does not wrap ErrChecksum", byteIdx, bit, err)
+			}
+		}
+	}
+	// The untouched frame still decodes (the flips above copied it).
+	if _, _, _, err := DecodePageSum(good); err != nil {
+		t.Fatalf("pristine frame: %v", err)
+	}
+}
+
+func TestSumTruncation(t *testing.T) {
+	good := AppendPageSum(nil, core.Page{{Key: 9, Payload: []byte("xyz")}})
+	for i := 0; i < len(good); i++ {
+		if _, _, _, err := DecodePageSum(good[:i]); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation at %d bytes: err = %v, want ErrChecksum chain", i, err)
+		}
+	}
+}
+
+// TestSumFrameIsNotLegacy: the two framings must not be confused for one
+// another by the decoders' structural checks alone — stores gate on frame
+// version, and these assertions document why auto-sniffing is unsafe only
+// in one direction (a legacy body can start with any byte, including the
+// marker).
+func TestSumFrameIsNotLegacy(t *testing.T) {
+	pg := core.Page{{Key: 5, Payload: []byte("payload")}}
+	legacy := AppendPage(nil, pg)
+	if _, _, _, err := DecodePageSum(legacy); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("legacy frame through DecodePageSum: err = %v, want ErrChecksum chain", err)
 	}
 }

@@ -180,6 +180,7 @@ type tracedStore struct {
 	reads, writes           atomic.Int64
 	bytesRead, bytesWritten atomic.Int64
 	readNanos, writeNanos   atomic.Int64
+	retries                 atomic.Int64
 }
 
 func (s *tracedStore) fill(st *Stats) {
@@ -189,6 +190,22 @@ func (s *tracedStore) fill(st *Stats) {
 	st.BytesWritten = s.bytesWritten.Load()
 	st.ReadLatency = time.Duration(s.readNanos.Load())
 	st.WriteLatency = time.Duration(s.writeNanos.Load())
+	st.StoreRetries = int(s.retries.Load())
+}
+
+// retrier is implemented by store tokens that report how many failed
+// attempts were retried before the operation settled (see FileStore's
+// WithStoreRetry); tokens without the method count as zero retries.
+type retrier interface{ Retries() int }
+
+// noteRetries folds a completed token's retry count into the store
+// aggregates.
+func (s *tracedStore) noteRetries(tok any) {
+	if rt, ok := tok.(retrier); ok {
+		if n := rt.Retries(); n > 0 {
+			s.retries.Add(int64(n))
+		}
+	}
 }
 
 func (s *tracedStore) Append(id RunID, pages []Page) (Token, error) {
@@ -230,6 +247,7 @@ func (t *tracedToken) Wait() error {
 		t.s.writes.Add(1)
 		t.s.bytesWritten.Add(t.bytes)
 		t.s.writeNanos.Add(int64(d))
+		t.s.noteRetries(t.Token)
 		if ot := t.s.ot; ot.tr != nil {
 			emitSafe(ot.tr, trace.Event{
 				Kind: trace.KindStoreWrite, Time: time.Now(), Op: ot.id,
@@ -260,6 +278,7 @@ func (t *tracedPageToken) Wait() (Page, error) {
 		t.s.reads.Add(1)
 		t.s.bytesRead.Add(bytes)
 		t.s.readNanos.Add(int64(d))
+		t.s.noteRetries(t.PageToken)
 		if ot := t.s.ot; ot.tr != nil {
 			emitSafe(ot.tr, trace.Event{
 				Kind: trace.KindStoreRead, Time: time.Now(), Op: ot.id,

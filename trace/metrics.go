@@ -98,6 +98,8 @@ func NewMetrics() *Metrics {
 	c("masort_store_writes_total", "Run store append batches completed.")
 	c("masort_store_read_bytes_total", "Encoded bytes read from run stores.")
 	c("masort_store_write_bytes_total", "Encoded bytes written to run stores.")
+	c("masort_store_retries_total", "Store I/O attempts retried after a transient failure.")
+	c("masort_store_giveups_total", "Store I/O operations that failed terminally.")
 	h("masort_op_seconds", "Operator wall time (begin to end).")
 	h("masort_pool_admission_wait_seconds", "Time queued before pool admission.")
 	h("masort_pool_wait_seconds", "Time blocked in pool arbitration waits.")
@@ -174,6 +176,10 @@ func (m *Metrics) Emit(e Event) {
 		m.observe("masort_store_write_seconds", e.Dur)
 	case KindStoreQueue:
 		m.queueDepth.Store(int64(e.Pages))
+	case KindStoreRetry:
+		m.add("masort_store_retries_total", 1)
+	case KindStoreGaveUp:
+		m.add("masort_store_giveups_total", 1)
 	}
 }
 

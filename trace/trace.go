@@ -66,6 +66,13 @@ const (
 	KindStoreRead
 	KindStoreWrite
 	KindStoreQueue
+	// Store fault handling: KindStoreRetry is one failed attempt the store
+	// is about to retry (Name is "read" or "write", Pages the attempt
+	// number, Bytes the extent size, Err the failure); KindStoreGaveUp is
+	// the terminal failure after retries were exhausted or the error was
+	// classified permanent.
+	KindStoreRetry
+	KindStoreGaveUp
 )
 
 // String returns the kind's stable snake-case name (used as the event label
@@ -112,6 +119,10 @@ func (k Kind) String() string {
 		return "store_write"
 	case KindStoreQueue:
 		return "store_queue"
+	case KindStoreRetry:
+		return "store_retry"
+	case KindStoreGaveUp:
+		return "store_gave_up"
 	}
 	return "unknown"
 }
@@ -150,7 +161,8 @@ type Event struct {
 	Target  int
 	Granted int
 
-	// Err is the failure message for a KindOpEnd of a failed operator.
+	// Err is the failure message for a KindOpEnd of a failed operator or a
+	// store retry / give-up event.
 	Err string
 }
 
