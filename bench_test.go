@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/memadapt/masort/internal/experiments"
 	"github.com/memadapt/masort/trace"
@@ -448,6 +449,201 @@ func BenchmarkFileStorePayload(b *testing.B) {
 				}
 				res.Close()
 				store.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatrix measures raw run-write throughput for every store
+// backend under the engine's actual write pattern: one run, at most one
+// batch append in flight — each batch's durability token is awaited before
+// the next Append, exactly as the split phase's waitOut does so output
+// buffers can be recycled. bytes/s compares the backends' framing and
+// hand-off overheads directly; writes land in the page cache, so device
+// parallelism does not show here (see BenchmarkStoreMatrixDiskModel for
+// that).
+func BenchmarkStoreMatrix(b *testing.B) {
+	const batches, perBatch, perPage = 16, 16, 64
+	recs, _ := benchPayloadRecords(batches*perBatch*perPage, 240)
+	var batchPages [][]Page
+	var bytes int64
+	for i := 0; i < batches; i++ {
+		var pages []Page
+		for p := 0; p < perBatch; p++ {
+			off := (i*perBatch + p) * perPage
+			pg := Page(recs[off : off+perPage])
+			for _, r := range pg {
+				bytes += int64(8 + len(r.Payload))
+			}
+			pages = append(pages, pg)
+		}
+		batchPages = append(batchPages, pages)
+	}
+
+	backends := []struct {
+		name  string
+		build func(b *testing.B) RunStore
+	}{
+		{"mem", func(b *testing.B) RunStore { return NewMemStore() }},
+		{"file", func(b *testing.B) RunStore {
+			s, err := NewFileStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}},
+		{"striped2", func(b *testing.B) RunStore {
+			s, err := NewStripedStore(b.TempDir(), b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}},
+		{"striped4", func(b *testing.B) RunStore {
+			s, err := NewStripedStore(b.TempDir(), b.TempDir(), b.TempDir(), b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}},
+		{"mmap", func(b *testing.B) RunStore {
+			s, err := NewStoreConfig().Mmap(b.TempDir())
+			if err != nil {
+				b.Skipf("mmap store unavailable: %v", err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}},
+		{"tiered", func(b *testing.B) RunStore {
+			backing, err := NewFileStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { backing.Close() })
+			s, err := NewTieredStore(perBatch*2, backing)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			return s
+		}},
+	}
+	for _, backend := range backends {
+		b.Run(backend.name, func(b *testing.B) {
+			store := backend.build(b)
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := store.Create()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, pages := range batchPages {
+					tok, err := store.Append(id, pages)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := tok.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := store.Free(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatrixDiskModel is the real-engine twin of the paper's
+// Disks experiment: the same one-batch-in-flight write pattern as
+// BenchmarkStoreMatrix, but with every physical write charged a modeled
+// device service time — 100µs of positioning plus 1ns per byte (a ~1 GB/s
+// device) — injected through the fault-hook seam, which runs inside each
+// device's writer goroutine. The page cache hides real device behavior, so
+// this is what exposes the property striping exists for: a FileStore pays
+// the whole batch's service time on one device, while a StripedStore's
+// devices serve their shares of the batch concurrently, scaling write
+// bandwidth with the number of devices even on a single-CPU host.
+func BenchmarkStoreMatrixDiskModel(b *testing.B) {
+	const batches, perBatch, perPage = 8, 32, 64
+	recs, _ := benchPayloadRecords(batches*perBatch*perPage, 1024)
+	var batchPages [][]Page
+	var bytes int64
+	for i := 0; i < batches; i++ {
+		var pages []Page
+		for p := 0; p < perBatch; p++ {
+			off := (i*perBatch + p) * perPage
+			pg := Page(recs[off : off+perPage])
+			for _, r := range pg {
+				bytes += int64(8 + len(r.Payload))
+			}
+			pages = append(pages, pg)
+		}
+		batchPages = append(batchPages, pages)
+	}
+	// Every write sleeps for the modeled device's service time before
+	// hitting the file; the hook runs on the device's writer goroutine, so
+	// sleeping devices overlap instead of stealing CPU from each other.
+	disk := hookFuncs{beforeWrite: func(off int64, buf []byte) (int, error) {
+		time.Sleep(100*time.Microsecond + time.Duration(len(buf))*time.Nanosecond)
+		return -1, nil
+	}}
+
+	backends := []struct {
+		name string
+		dirs int
+	}{
+		{"file", 1},
+		{"striped2", 2},
+		{"striped4", 4},
+	}
+	for _, backend := range backends {
+		b.Run(backend.name, func(b *testing.B) {
+			var store RunStore
+			if backend.dirs == 1 {
+				s, err := NewStoreConfig().WithFaults(disk).File(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { s.Close() })
+				store = s
+			} else {
+				dirs := make([]string, backend.dirs)
+				for i := range dirs {
+					dirs[i] = b.TempDir()
+				}
+				s, err := NewStoreConfig().WithFaults(disk).Striped(dirs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { s.Close() })
+				store = s
+			}
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := store.Create()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, pages := range batchPages {
+					tok, err := store.Append(id, pages)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := tok.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := store.Free(id); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -103,22 +103,24 @@ func keyOf(mode string, line []byte) uint64 {
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input file (default stdin)")
-		outPath  = flag.String("out", "", "output file (default stdout)")
-		keyMode  = flag.String("key", "prefix", "sort key: prefix | number | hash")
-		budget   = flag.Int("budget", 64, "memory budget in pages")
-		prec     = flag.Int("page-records", 256, "records per page")
-		method   = flag.String("method", "repl", "split method: repl | quick")
-		block    = flag.Int("block", 6, "replacement-selection block pages")
-		adapt    = flag.String("adapt", "split", "merge adaptation: split | page | susp")
-		merge    = flag.String("merge", "opt", "merge strategy: opt | naive")
-		script   = flag.String("script", "", "budget changes, e.g. \"25%:-40,50%:+20\" (percent of input records)")
-		tmpDir   = flag.String("tmp", "", "run-file directory (default: in-memory store)")
-		stats    = flag.Bool("stats", false, "print sort statistics to stderr")
-		events   = flag.Bool("events", false, "print adaptation events to stderr")
-		listen   = flag.String("listen", "", "serve Prometheus /metrics and /debug/events on this address (e.g. :9090)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
-		hold     = flag.Bool("hold", false, "with -listen: keep serving after the sort completes, until interrupted")
+		in        = flag.String("in", "", "input file (default stdin)")
+		outPath   = flag.String("out", "", "output file (default stdout)")
+		keyMode   = flag.String("key", "prefix", "sort key: prefix | number | hash")
+		budget    = flag.Int("budget", 64, "memory budget in pages")
+		prec      = flag.Int("page-records", 256, "records per page")
+		method    = flag.String("method", "repl", "split method: repl | quick")
+		block     = flag.Int("block", 6, "replacement-selection block pages")
+		adapt     = flag.String("adapt", "split", "merge adaptation: split | page | susp")
+		merge     = flag.String("merge", "opt", "merge strategy: opt | naive")
+		script    = flag.String("script", "", "budget changes, e.g. \"25%:-40,50%:+20\" (percent of input records)")
+		tmpDir    = flag.String("tmp", "", "run-file directory or comma-separated directories (default: in-memory store)")
+		storeKind = flag.String("store", "", "run store backend: file | striped | mmap | tiered (default: file when -tmp is set, else in-memory)")
+		tierPages = flag.Int("tier-pages", 256, "with -store tiered: pages held in the memory tier")
+		stats     = flag.Bool("stats", false, "print sort statistics to stderr")
+		events    = flag.Bool("events", false, "print adaptation events to stderr")
+		listen    = flag.String("listen", "", "serve Prometheus /metrics and /debug/events on this address (e.g. :9090)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
+		hold      = flag.Bool("hold", false, "with -listen: keep serving after the sort completes, until interrupted")
 	)
 	flag.Parse()
 
@@ -186,13 +188,65 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown -merge %q", *merge))
 	}
-	if *tmpDir != "" {
-		fs, err := masort.NewFileStore(*tmpDir)
-		if err != nil {
-			fail(err)
+	// Pick the run store: -store selects the backend, -tmp supplies its
+	// directories (comma-separated for striped). With neither flag runs stay
+	// in memory; -tmp alone keeps the historical file-store behavior.
+	if *storeKind != "" || *tmpDir != "" {
+		var dirs []string
+		if *tmpDir != "" {
+			dirs = strings.Split(*tmpDir, ",")
 		}
-		defer fs.Close()
-		opts = append(opts, masort.WithStore(fs))
+		dir := func() string {
+			if len(dirs) > 0 {
+				return dirs[0]
+			}
+			return "" // fresh temp dir, removed on Close
+		}
+		kind := *storeKind
+		if kind == "" {
+			kind = "file"
+		}
+		cfg := masort.NewStoreConfig()
+		switch kind {
+		case "file":
+			fs, err := cfg.File(dir())
+			if err != nil {
+				fail(err)
+			}
+			defer fs.Close()
+			opts = append(opts, masort.WithStore(fs))
+		case "striped":
+			if len(dirs) == 0 {
+				fail(fmt.Errorf("-store striped needs -tmp dir1,dir2,..."))
+			}
+			ss, err := cfg.Striped(dirs...)
+			if err != nil {
+				fail(err)
+			}
+			defer ss.Close()
+			opts = append(opts, masort.WithStore(ss))
+		case "mmap":
+			ms, err := cfg.Mmap(dir())
+			if err != nil {
+				fail(err)
+			}
+			defer ms.Close()
+			opts = append(opts, masort.WithStore(ms))
+		case "tiered":
+			backing, err := cfg.File(dir())
+			if err != nil {
+				fail(err)
+			}
+			defer backing.Close()
+			ts, err := cfg.Tiered(*tierPages, backing)
+			if err != nil {
+				fail(err)
+			}
+			defer ts.Close()
+			opts = append(opts, masort.WithStore(ts))
+		default:
+			fail(fmt.Errorf("unknown -store %q (want file, striped, mmap or tiered)", kind))
+		}
 	}
 	if *events {
 		opts = append(opts, masort.WithEvents(func(ev masort.Event) {

@@ -63,6 +63,41 @@
 // the full ownership and fairness contract, and examples/concurrentpool
 // for the multiprogramming scenario end to end.
 //
+// # Choosing a run store
+//
+// Sorted runs live in a RunStore, chosen with WithStore and built by the
+// NewStoreConfig builder, which applies one set of knobs (page checksums,
+// read concurrency, retry policy, fault hooks, tracing) to whichever
+// backend it finishes with:
+//
+//	store, err := masort.NewStoreConfig().
+//		WithRetry(masort.RetryPolicy{MaxAttempts: 3}).
+//		Striped("/disk1/tmp", "/disk2/tmp")
+//
+// Five backends cover the spectrum:
+//
+//   - MemStore (NewMemStore, the default): runs held in memory. Fastest;
+//     run data is bounded by RAM. Tests and small sorts.
+//   - FileStore (StoreConfig.File): one directory, checksummed frames, a
+//     background writer per run, bounded read concurrency, retry and
+//     rollback on write failure. The workhorse single-disk store.
+//   - StripedStore (StoreConfig.Striped): pages striped round-robin over
+//     N directories — one per physical device — with per-device writers
+//     and a merged durability token, so one run's write bandwidth is the
+//     sum of its devices'. The real-engine twin of the paper's Disks
+//     experiment.
+//   - MmapStore (StoreConfig.Mmap): file-backed runs read zero-copy
+//     through a memory mapping; falls back with ErrMmapUnsupported where
+//     mmap is unavailable. Read-heavy merges on large page caches.
+//   - TieredStore (StoreConfig.Tiered): a bounded memory tier over any
+//     backing store; whole runs demote to the backing store when the tier
+//     overflows (LRU), hot pages promote back on read. Keeps small sorts
+//     entirely in memory while big ones spill gracefully.
+//
+// Every backend honors the same RunStore contract (see RunStore), passes
+// the storetest conformance suite, and reports store_demote /
+// store_promote / store_retry events through the trace seam.
+//
 // # Buffer ownership
 //
 // The engine allocates near zero in steady state, which makes buffer

@@ -169,57 +169,6 @@ func classifyIOErr(err error) errClass {
 	return classTransient
 }
 
-// FileStoreOption configures a FileStore.
-type FileStoreOption func(*FileStore)
-
-// WithReadConcurrency bounds the number of page reads the store executes in
-// parallel (default DefaultReadConcurrency).
-func WithReadConcurrency(n int) FileStoreOption {
-	return func(s *FileStore) {
-		if n > 0 {
-			s.readSem = make(chan struct{}, n)
-		}
-	}
-}
-
-// WithPageChecksums selects whether run pages are framed with a
-// CRC32-Castagnoli checksum (default true). With checksums on, a read that
-// returns different bytes than were written fails with ErrCorruptPage in
-// the chain (after one silent re-read) instead of decoding garbage; the
-// cost is 5 bytes per page and one CRC pass per append and read. Turning
-// them off restores the legacy frame, byte-compatible with stores from
-// before checksums existed.
-func WithPageChecksums(on bool) FileStoreOption {
-	return func(s *FileStore) { s.sums = on }
-}
-
-// WithStoreRetry sets the store's retry policy for transiently failing
-// I/O: each read attempt and each background write attempt gets
-// p.MaxAttempts tries with doubling backoff before the operation fails
-// with ErrStoreFailed in the chain. Permanent errors (ENOSPC, EROFS,
-// anything reporting Temporary() == false) skip the retries and fail
-// fast. The default is a single attempt — no retry.
-func WithStoreRetry(p RetryPolicy) FileStoreOption {
-	return func(s *FileStore) { s.retry = p }
-}
-
-// WithStoreFaults installs fault-injection hooks on the store's physical
-// I/O. Meant for tests (see internal/faultinject); a nil hook leaves the
-// I/O untouched.
-func WithStoreFaults(h FaultHooks) FileStoreOption {
-	return func(s *FileStore) { s.faults = h }
-}
-
-// WithStoreTracer attaches a tracer to the store: the async write
-// pipeline's queue depth (all runs summed) is sampled on every enqueue and
-// dequeue as KindStoreQueue events — a persistent nonzero depth means the
-// disk is the bottleneck and Append back-pressure is imminent. Per-read and
-// per-write latency events are emitted by the operator's WithTracer layer,
-// not here, so they can be attributed to the operator.
-func WithStoreTracer(t Tracer) FileStoreOption {
-	return func(s *FileStore) { s.tr = t }
-}
-
 // noteQueue moves the sampled write-queue depth by delta and emits it.
 func (s *FileStore) noteQueue(delta int64) {
 	if s.tr == nil {
@@ -301,7 +250,16 @@ func (t *fsPageToken) Retries() int { return t.retries }
 
 // NewFileStore creates a run store in dir; dir is created if missing. If
 // dir is empty, a fresh temporary directory is used and removed on Close.
+// It is a shim over the StoreConfig builder: the options fold into a
+// default config and NewFileStore delegates to StoreConfig.File.
 func NewFileStore(dir string, opts ...FileStoreOption) (*FileStore, error) {
+	return applyStoreOptions(opts).File(dir)
+}
+
+// newFileStore builds a FileStore from a StoreConfig; device is the store's
+// index inside a striped parent (0 for standalone stores) and selects its
+// fault hooks.
+func newFileStore(dir string, cfg *StoreConfig, device int) (*FileStore, error) {
 	own := false
 	if dir == "" {
 		d, err := os.MkdirTemp("", "masort-runs-")
@@ -313,17 +271,16 @@ func NewFileStore(dir string, opts ...FileStoreOption) (*FileStore, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &FileStore{
+	return &FileStore{
 		dir:     dir,
 		own:     own,
 		runs:    map[RunID]*fileRun{},
-		readSem: make(chan struct{}, DefaultReadConcurrency),
-		sums:    true,
-	}
-	for _, opt := range opts {
-		opt(s)
-	}
-	return s, nil
+		readSem: make(chan struct{}, cfg.readConc),
+		sums:    cfg.sums,
+		retry:   cfg.retry,
+		faults:  cfg.faultsAt(device),
+		tr:      cfg.tr,
+	}, nil
 }
 
 // Dir returns the directory holding run files.

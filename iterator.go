@@ -24,8 +24,36 @@ type Token = core.Token
 // PageToken is an asynchronous read completion handle.
 type PageToken = core.PageToken
 
-// RunStore stores sorted runs; see NewMemStore and NewFileStore for the
-// built-in implementations.
+// RunStore stores sorted runs — the seam between the sort engine and
+// storage. The library ships five implementations (NewMemStore,
+// NewFileStore, NewStripedStore, plus StoreConfig.Mmap and
+// StoreConfig.Tiered); build configured instances with NewStoreConfig and
+// see the package documentation for choosing between them.
+//
+// The contract every implementation must honor (and that the storetest
+// package verifies):
+//
+//   - Create opens a new empty run; Append adds pages to its end and
+//     returns a durability Token; ReadAsync starts reading one page and
+//     returns a PageToken; Pages reports pages appended so far (durable or
+//     not); Free releases the run and everything queued for it.
+//   - Append may queue: the write is durable only once its Token.Wait
+//     returns nil. The engine issues at most one batch per run before
+//     waiting, but tokens may be waited late or never (Free must cope).
+//   - Buffer ownership: the caller may reuse the page slices passed to
+//     Append once the token completes, so the store must either finish
+//     with them by then or copy. Payload bytes are immutable and shared.
+//     Pages delivered by ReadAsync belong to the store; callers must not
+//     modify them, and they stay valid until the run is freed.
+//   - A terminal write failure breaks the whole run: the failing token
+//     (and every later one) reports an error chain including
+//     ErrStoreFailed, and subsequent Appends and reads on the run are
+//     refused. Reads must never return wrong data: a page that cannot be
+//     read back verbatim surfaces ErrCorruptPage.
+//   - All calls for one run come from one goroutine at a time, but
+//     different runs are used concurrently; Free may race with in-flight
+//     reads of the same run (they may then fail, but must not deliver
+//     wrong data, panic or deadlock).
 type RunStore = core.RunStore
 
 // Event is an adaptation event (see Options.OnEvent).

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package masort
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this platform can back an MmapStore.
+const mmapSupported = false
+
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	return nil, fmt.Errorf("%w", ErrMmapUnsupported)
+}
+
+func munmapBytes(b []byte) error {
+	return fmt.Errorf("%w", ErrMmapUnsupported)
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package masort
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can back an MmapStore.
+const mmapSupported = true
+
+// mmapFile maps the first length bytes of f read-only and shared, so bytes
+// written through the file descriptor afterwards are visible in the
+// mapping.
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

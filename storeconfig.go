@@ -1,0 +1,200 @@
+package masort
+
+import "github.com/memadapt/masort/trace"
+
+// StoreConfig is the unified, composable configuration consumed by every
+// run-store backend: FileStore, StripedStore, MmapStore and TieredStore all
+// read the same knobs (read concurrency, page checksums, retry policy,
+// fault hooks, tracer), so adding a backend never re-grows a parallel
+// option set.
+//
+// It is a builder: the With* methods mutate the receiver and return it, so
+// configuration chains into a terminal constructor —
+//
+//	store, err := masort.NewStoreConfig().
+//		WithRetry(masort.RetryPolicy{MaxAttempts: 3}).
+//		WithTracer(metrics).
+//		Striped("/mnt/d0/runs", "/mnt/d1/runs")
+//
+// One StoreConfig may build any number of stores (each constructor snapshots
+// the relevant fields), but it is not safe for concurrent mutation.
+//
+// The legacy FileStoreOption functions (WithReadConcurrency,
+// WithPageChecksums, WithStoreRetry, WithStoreFaults, WithStoreTracer) are
+// thin shims over this builder and remain fully supported.
+type StoreConfig struct {
+	readConc int
+	sums     bool
+	retry    RetryPolicy
+	faults   func(device int) FaultHooks
+	tr       trace.Tracer
+}
+
+// NewStoreConfig returns the default store configuration: read concurrency
+// DefaultReadConcurrency, page checksums on, no retry, no fault hooks, no
+// tracer — the same defaults NewFileStore has always had.
+func NewStoreConfig() *StoreConfig {
+	return &StoreConfig{readConc: DefaultReadConcurrency, sums: true}
+}
+
+// WithReadConcurrency bounds the number of page reads a backend executes in
+// parallel (default DefaultReadConcurrency). Striped stores apply the bound
+// per device. Values below 1 are ignored. It has no effect on MmapStore
+// (reads are memory accesses) or the memory tier of a TieredStore.
+func (c *StoreConfig) WithReadConcurrency(n int) *StoreConfig {
+	if n > 0 {
+		c.readConc = n
+	}
+	return c
+}
+
+// WithPageChecksums selects whether run pages are framed with a
+// CRC32-Castagnoli checksum (default true). With checksums on, a read that
+// returns different bytes than were written fails with ErrCorruptPage in
+// the chain (after one silent re-read) instead of decoding garbage; the
+// cost is 5 bytes per page and one CRC pass per append and read. Turning
+// them off restores the legacy frame, byte-compatible with stores from
+// before checksums existed.
+func (c *StoreConfig) WithPageChecksums(on bool) *StoreConfig {
+	c.sums = on
+	return c
+}
+
+// WithRetry sets the retry policy for transiently failing I/O: each read
+// attempt and each write attempt gets p.MaxAttempts tries with doubling
+// backoff before the operation fails with ErrStoreFailed in the chain.
+// Permanent errors (ENOSPC, EROFS, anything reporting Temporary() == false)
+// skip the retries and fail fast. The default is a single attempt.
+func (c *StoreConfig) WithRetry(p RetryPolicy) *StoreConfig {
+	c.retry = p
+	return c
+}
+
+// WithFaults installs fault-injection hooks on the physical I/O of every
+// device of the built store. Meant for tests (see internal/faultinject); a
+// nil hook leaves the I/O untouched.
+func (c *StoreConfig) WithFaults(h FaultHooks) *StoreConfig {
+	if h == nil {
+		c.faults = nil
+	} else {
+		c.faults = func(int) FaultHooks { return h }
+	}
+	return c
+}
+
+// WithDeviceFaults installs per-device fault-injection hooks: fn is invoked
+// with each device index (0-based; single-device backends use device 0) and
+// returns the hooks for that device, or nil to leave it untouched. This is
+// how tests target one stripe of a StripedStore while the others stay
+// healthy.
+func (c *StoreConfig) WithDeviceFaults(fn func(device int) FaultHooks) *StoreConfig {
+	c.faults = fn
+	return c
+}
+
+// WithTracer attaches a tracer to the built store: the async write
+// pipeline's queue depth is sampled as KindStoreQueue events, the retry
+// layer emits KindStoreRetry / KindStoreGaveUp, and a TieredStore emits
+// KindStoreDemote / KindStorePromote as runs spill and pages come back hot.
+// Per-read and per-write latency events are emitted by the operator's
+// WithTracer layer, not here, so they can be attributed to the operator.
+func (c *StoreConfig) WithTracer(t Tracer) *StoreConfig {
+	c.tr = t
+	return c
+}
+
+// faultsAt returns the fault hooks for one device (nil when none are
+// configured for it).
+func (c *StoreConfig) faultsAt(device int) FaultHooks {
+	if c.faults == nil {
+		return nil
+	}
+	return c.faults(device)
+}
+
+// File builds a disk-backed FileStore in dir; dir is created if missing.
+// If dir is empty, a fresh temporary directory is used and removed on
+// Close. See FileStore for the backend's semantics.
+func (c *StoreConfig) File(dir string) (*FileStore, error) {
+	return newFileStore(dir, c, 0)
+}
+
+// Striped builds a StripedStore over one directory per device — ideally
+// each on its own disk or filesystem. See StripedStore.
+func (c *StoreConfig) Striped(dirs ...string) (*StripedStore, error) {
+	return newStripedStore(c, dirs)
+}
+
+// Mmap builds an mmap-backed MmapStore in dir (created if missing; a fresh
+// temporary directory when empty, removed on Close). See MmapStore. On
+// platforms without mmap support it fails with ErrMmapUnsupported.
+func (c *StoreConfig) Mmap(dir string) (*MmapStore, error) {
+	return newMmapStore(dir, c)
+}
+
+// Tiered builds a TieredStore: a memory tier bounded to memPages pages that
+// demotes whole runs to backing under pressure and promotes hot pages on
+// read. The caller keeps ownership of backing (Close it after the tiered
+// store). See TieredStore.
+func (c *StoreConfig) Tiered(memPages int, backing RunStore) (*TieredStore, error) {
+	return newTieredStore(memPages, backing, c)
+}
+
+// ---- legacy FileStoreOption shims ----
+
+// FileStoreOption configures a store built by NewFileStore (and the other
+// convenience constructors). It is a thin shim over the StoreConfig
+// builder, kept so existing call sites read unchanged; new code composing
+// several knobs or building non-file backends should use NewStoreConfig
+// directly.
+type FileStoreOption func(*StoreConfig)
+
+// WithReadConcurrency bounds the number of page reads the store executes in
+// parallel (default DefaultReadConcurrency).
+//
+// Deprecated: use StoreConfig.WithReadConcurrency via NewStoreConfig.
+func WithReadConcurrency(n int) FileStoreOption {
+	return func(c *StoreConfig) { c.WithReadConcurrency(n) }
+}
+
+// WithPageChecksums selects whether run pages are framed with a
+// CRC32-Castagnoli checksum (default true).
+//
+// Deprecated: use StoreConfig.WithPageChecksums via NewStoreConfig.
+func WithPageChecksums(on bool) FileStoreOption {
+	return func(c *StoreConfig) { c.WithPageChecksums(on) }
+}
+
+// WithStoreRetry sets the store's retry policy for transiently failing
+// I/O.
+//
+// Deprecated: use StoreConfig.WithRetry via NewStoreConfig.
+func WithStoreRetry(p RetryPolicy) FileStoreOption {
+	return func(c *StoreConfig) { c.WithRetry(p) }
+}
+
+// WithStoreFaults installs fault-injection hooks on the store's physical
+// I/O.
+//
+// Deprecated: use StoreConfig.WithFaults via NewStoreConfig.
+func WithStoreFaults(h FaultHooks) FileStoreOption {
+	return func(c *StoreConfig) { c.WithFaults(h) }
+}
+
+// WithStoreTracer attaches a tracer to the store.
+//
+// Deprecated: use StoreConfig.WithTracer via NewStoreConfig.
+func WithStoreTracer(t Tracer) FileStoreOption {
+	return func(c *StoreConfig) { c.WithTracer(t) }
+}
+
+// applyStoreOptions folds legacy options into a fresh default config.
+func applyStoreOptions(opts []FileStoreOption) *StoreConfig {
+	cfg := NewStoreConfig()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(cfg)
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,197 @@
+package masort
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/memadapt/masort/internal/faultinject"
+	"github.com/memadapt/masort/trace"
+)
+
+// TestTieredStoreDemotesLRUAndPromotes walks the tier state machine: the
+// least-recently-used run is demoted whole when the budget is exceeded, a
+// read of the demoted run still returns the right pages, and a hot read
+// promotes its page back into the tier once there is headroom — with the
+// demotion and promotion visible to the tracer.
+func TestTieredStoreDemotesLRUAndPromotes(t *testing.T) {
+	backing := NewMemStore()
+	m := trace.NewMetrics()
+	store, err := NewStoreConfig().WithTracer(m).Tiered(2, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	mk := func(k uint64) Page { return Page{{Key: k, Payload: []byte{byte(k)}}} }
+
+	a, _ := store.Create()
+	if tok, err := store.Append(a, []Page{mk(1), mk(2)}); err != nil || tok.Wait() != nil {
+		t.Fatal("append A failed")
+	}
+	if got := store.Resident(); got != 2 {
+		t.Fatalf("Resident = %d after A, want 2", got)
+	}
+	b, _ := store.Create()
+	// B's append busts the budget; A is the LRU victim and must be demoted
+	// whole while B stays resident.
+	if tok, err := store.Append(b, []Page{mk(3), mk(4)}); err != nil || tok.Wait() != nil {
+		t.Fatal("append B failed")
+	}
+	if got := store.Resident(); got != 2 {
+		t.Fatalf("Resident = %d after demotion, want 2", got)
+	}
+	if got := backing.Live(); got != 1 {
+		t.Fatalf("backing runs = %d, want 1 (A demoted)", got)
+	}
+	if got := m.Counter("masort_store_demotions_total"); got != 1 {
+		t.Fatalf("demotions = %d, want 1", got)
+	}
+	// A reads correctly through the backing store; the tier is full, so
+	// nothing is promoted yet.
+	pg, err := store.ReadAsync(a, 1).Wait()
+	if err != nil || len(pg) != 1 || pg[0].Key != 2 {
+		t.Fatalf("demoted read = %+v, %v", pg, err)
+	}
+	if got := m.Counter("masort_store_promotions_total"); got != 0 {
+		t.Fatalf("promotions = %d with a full tier, want 0", got)
+	}
+	// Freeing B opens headroom: the next read of A promotes its page.
+	if err := store.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadAsync(a, 0).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("masort_store_promotions_total"); got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+	if got := store.Resident(); got != 1 {
+		t.Fatalf("Resident = %d after promotion, want 1", got)
+	}
+	// The promoted page now serves from memory — and is still correct.
+	pg, err = store.ReadAsync(a, 0).Wait()
+	if err != nil || pg[0].Key != 1 {
+		t.Fatalf("promoted read = %+v, %v", pg, err)
+	}
+	if err := store.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if store.Resident() != 0 || store.Live() != 0 || backing.Live() != 0 {
+		t.Fatalf("leaked: resident %d, live %d, backing %d",
+			store.Resident(), store.Live(), backing.Live())
+	}
+}
+
+// TestTieredStoreDemotionFailureBreaksVictim pins the failure attribution:
+// when the backing store dies mid-demotion, the broken run is the VICTIM
+// (whose pages left the tier), not the run whose append forced the
+// eviction — that run stays healthy and readable.
+func TestTieredStoreDemotionFailureBreaksVictim(t *testing.T) {
+	backing, err := NewStoreConfig().WithFaults(hookFuncs{
+		beforeWrite: func(off int64, b []byte) (int, error) {
+			return -1, faultinject.Permanent("backing dead")
+		},
+	}).File(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing.Close()
+	store, err := NewTieredStore(2, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	a, _ := store.Create()
+	if tok, err := store.Append(a, []Page{{{Key: 1}}, {{Key: 2}}}); err != nil || tok.Wait() != nil {
+		t.Fatal("append A failed")
+	}
+	b, _ := store.Create()
+	// Demoting A fails; B's own append must still land in the tier.
+	tok, err := store.Append(b, []Page{{{Key: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tok.Wait(); err != nil {
+		t.Fatalf("B's token = %v, want success (B was not the victim)", err)
+	}
+	if pg, err := store.ReadAsync(b, 0).Wait(); err != nil || pg[0].Key != 3 {
+		t.Fatalf("B unreadable after failed demotion of A: %+v, %v", pg, err)
+	}
+	if _, err := store.ReadAsync(a, 0).Wait(); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("read of broken victim = %v, want ErrStoreFailed chain", err)
+	}
+	if _, err := store.Append(a, []Page{{{Key: 9}}}); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("append to broken victim = %v, want ErrStoreFailed chain", err)
+	}
+	if err := store.Free(a); err != nil {
+		t.Fatalf("Free of broken victim: %v", err)
+	}
+	if err := store.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredStoreSelfVictimSurfacesOnToken covers the zero-budget corner:
+// with no tier at all, the appending run is its own demotion victim, so
+// the failure must come back on that append's token.
+func TestTieredStoreSelfVictimSurfacesOnToken(t *testing.T) {
+	backing, err := NewStoreConfig().WithFaults(hookFuncs{
+		beforeWrite: func(off int64, b []byte) (int, error) {
+			return -1, faultinject.Permanent("backing dead")
+		},
+	}).File(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing.Close()
+	store, err := NewTieredStore(0, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	id, _ := store.Create()
+	tok, err := store.Append(id, []Page{{{Key: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := tok.Wait(); !errors.Is(werr, ErrStoreFailed) {
+		t.Fatalf("self-victim token = %v, want ErrStoreFailed chain", werr)
+	}
+}
+
+// TestTieredStoreAppendAfterDemotionDelegates pins write-through: appends
+// to an already-demoted run go straight to the backing store, page
+// numbering stays continuous, and Free releases the backing run.
+func TestTieredStoreAppendAfterDemotionDelegates(t *testing.T) {
+	backing := NewMemStore()
+	store, err := NewTieredStore(0, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	id, _ := store.Create()
+	if tok, err := store.Append(id, []Page{{{Key: 1}}}); err != nil || tok.Wait() != nil {
+		t.Fatal("first append failed")
+	}
+	if tok, err := store.Append(id, []Page{{{Key: 2}}, {{Key: 3}}}); err != nil || tok.Wait() != nil {
+		t.Fatal("append to demoted run failed")
+	}
+	if got := store.Pages(id); got != 3 {
+		t.Fatalf("Pages = %d, want 3", got)
+	}
+	for p, want := range []uint64{1, 2, 3} {
+		pg, err := store.ReadAsync(id, p).Wait()
+		if err != nil || len(pg) != 1 || pg[0].Key != want {
+			t.Fatalf("page %d = %+v, %v (want key %d)", p, pg, err, want)
+		}
+	}
+	if got := backing.Live(); got != 1 {
+		t.Fatalf("backing runs = %d, want 1", got)
+	}
+	if err := store.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := backing.Live(); got != 0 {
+		t.Fatalf("backing runs = %d after Free, want 0", got)
+	}
+}
