@@ -258,6 +258,32 @@ func BenchmarkRealSort(b *testing.B) {
 	}
 }
 
+// BenchmarkRealSortParallel measures multi-core scaling of the real engine:
+// the same sort at 1, 2 and 4 workers over a budget big enough that every
+// worker's share keeps a healthy merge fan-in. CI runs it across a
+// GOMAXPROCS={1,2,4} matrix; on a 4-core allotment w4 is gated at >= 2.5x
+// the w1 wall-clock.
+func BenchmarkRealSortParallel(b *testing.B) {
+	recs := benchRecords(400_000)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Sort(context.Background(), NewSliceIterator(recs),
+					WithPageRecords(256), WithBudget(NewBudget(256)),
+					WithStore(NewMemStore()), WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(recs) * 8))
+		})
+	}
+}
+
 // BenchmarkRealSortTraced measures the same sort as
 // BenchmarkRealSort/repl6-split with a live Metrics tracer attached; the
 // head-to-head pair quantifies what observability costs when it is ON. (The

@@ -121,6 +121,7 @@ func main() {
 		listen    = flag.String("listen", "", "serve Prometheus /metrics and /debug/events on this address (e.g. :9090)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
 		hold      = flag.Bool("hold", false, "with -listen: keep serving after the sort completes, until interrupted")
+		workers   = flag.Int("workers", 1, "parallel sort workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -161,6 +162,7 @@ func main() {
 		masort.WithBlockPages(*block),
 		masort.WithPageRecords(*prec),
 		masort.WithBudget(pages),
+		masort.WithWorkers(*workers),
 	}
 	switch *method {
 	case "repl":
@@ -364,8 +366,8 @@ func main() {
 	if *stats {
 		s := res.Stats
 		fmt.Fprintf(os.Stderr,
-			"sorted %d records: %d runs, %d merge steps, %d splits, %d combines, %d suspensions, %d extra reads, %v total\n",
-			res.Tuples, s.Runs, s.MergeSteps, s.Splits, s.Combines, s.Suspensions, s.ExtraMergeReads, s.Response)
+			"sorted %d records: %d runs, %d merge steps, %d splits, %d combines, %d suspensions, %d extra reads, %d workers, %v total\n",
+			res.Tuples, s.Runs, s.MergeSteps, s.Splits, s.Combines, s.Suspensions, s.ExtraMergeReads, s.Workers, s.Response)
 		if len(tracers) > 0 {
 			fmt.Fprintf(os.Stderr,
 				"store I/O: %d reads (%d bytes, %v), %d writes (%d bytes, %v)\n",

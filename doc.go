@@ -63,6 +63,37 @@
 // the full ownership and fairness contract, and examples/concurrentpool
 // for the multiprogramming scenario end to end.
 //
+// # Parallel execution
+//
+// WithWorkers(n) runs both phases of an operator on a crew of n workers
+// (0 resolves to GOMAXPROCS; default serial) without changing the
+// output: the parallel result is value-identical to the serial one. The
+// worker model is
+//
+//   - split phase: workers consume the shared input in page-sized bites
+//     and each produces sorted runs from its share of the budget;
+//   - merge phase: the key space is partitioned at run-page fence keys
+//     and each worker merges one disjoint key range into its own output
+//     segment (a parallel merge tree when pre-existing runs carry no
+//     fences), so a parallel Result holds up to Workers key-ordered
+//     segments that Iterator/All chain transparently;
+//   - memory: the single *Budget (or *Pool entitlement) is split into
+//     deterministic equal shares, remainder to the lowest ranks. Every
+//     Shrink propagates to every worker at its next output-page
+//     boundary; when the target cannot sustain the whole crew the
+//     highest ranks park and later resume, and suspension, MRU paging,
+//     dynamic splitting and cancellation all operate per-worker exactly
+//     as they do serially.
+//
+// Buffer ownership is unchanged by parallelism: each page buffer has a
+// single owning worker from fill to Append hand-off, runs are written by
+// exactly one goroutine, and completed runs may be read by several
+// goroutines concurrently (the RunStore contract all backends pass
+// storetest with). Result.Stats.Workers reports the crew size that
+// actually ran — 1 when the configured Broker cannot support
+// context-aware waits and the sort fell back to serial. The simulator
+// never sets workers, keeping its tables byte-identical.
+//
 // # Choosing a run store
 //
 // Sorted runs live in a RunStore, chosen with WithStore and built by the

@@ -341,3 +341,111 @@ func TestSortFaultStripedDeviceTargeted(t *testing.T) {
 		})
 	}
 }
+
+// TestSortFaultStripedParallel re-runs the PR 8 fault discipline against a
+// PARALLEL sort (WithWorkers) on the striped store: injected device faults
+// now land on I/O issued concurrently by several workers, and the same
+// contract must hold — correct output or a documented sentinel chain, and
+// nothing leaked either way.
+func TestSortFaultStripedParallel(t *testing.T) {
+	recs := faultSortInput(8192)
+	policy := RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}
+	cases := []struct {
+		name        string
+		hooks       func(dev int) FaultHooks
+		wantErr     []error
+		wantRetries bool
+	}{
+		{
+			name: "transient-blips-two-devices",
+			hooks: func(dev int) FaultHooks {
+				if dev == 0 {
+					return faultinject.New(faultinject.Rule{Op: faultinject.Write, Nth: 1, Count: 2,
+						Fault: faultinject.Fault{Err: faultinject.Transient("dev0 write blip")}})
+				}
+				if dev == 2 {
+					return faultinject.New(faultinject.Rule{Op: faultinject.Read, Nth: 2, Count: 2,
+						Fault: faultinject.Fault{Err: faultinject.Transient("dev2 read blip")}})
+				}
+				return nil
+			},
+			wantRetries: true,
+		},
+		{
+			name: "one-device-dies-mid-sort",
+			hooks: func(dev int) FaultHooks {
+				if dev != 1 {
+					return nil
+				}
+				return faultinject.New(faultinject.Rule{Op: faultinject.Write, Nth: 3,
+					Fault: faultinject.Fault{Err: faultinject.Permanent("device 1 gone")}})
+			},
+			wantErr: []error{ErrStoreFailed},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			store, err := NewStoreConfig().
+				WithDeviceFaults(tc.hooks).
+				WithRetry(policy).
+				Striped(t.TempDir(), t.TempDir(), t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := NewPool(32)
+			res, err := Sort(context.Background(), NewSliceIterator(recs),
+				WithStore(store), WithPool(pool), WithWorkers(4),
+				WithPageRecords(64), WithEventLog(256))
+			if len(tc.wantErr) > 0 {
+				if err == nil {
+					res.Close()
+					t.Fatal("parallel sort survived a permanently failing device")
+				}
+				for _, sentinel := range tc.wantErr {
+					if !errors.Is(err, sentinel) {
+						t.Errorf("error chain %v is missing %v", err, sentinel)
+					}
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("parallel sort failed under a recoverable schedule: %v", err)
+				}
+				if res.Stats.Workers != 4 {
+					t.Errorf("Stats.Workers = %d, want 4", res.Stats.Workers)
+				}
+				var prev uint64
+				n := 0
+				for rec, rerr := range res.All() {
+					if rerr != nil {
+						t.Fatalf("record %d: %v", n, rerr)
+					}
+					if n > 0 && rec.Key < prev {
+						t.Fatalf("output out of order at record %d", n)
+					}
+					prev = rec.Key
+					n++
+				}
+				if n != len(recs) {
+					t.Fatalf("drained %d records, want %d", n, len(recs))
+				}
+				if tc.wantRetries && res.Stats.StoreRetries == 0 {
+					t.Error("Stats.StoreRetries = 0, want > 0")
+				}
+				if err := res.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pool.Ops() != 0 || pool.Reserved() != 0 {
+				t.Fatalf("pool leaked: %d ops, %d reserved", pool.Ops(), pool.Reserved())
+			}
+			if store.Live() != 0 {
+				t.Fatalf("%d runs leaked", store.Live())
+			}
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}

@@ -164,7 +164,7 @@ func GroupBy(ctx context.Context, input Iterator, agg Aggregator, opts ...Option
 	committed = true
 	return &Result{
 		store:    store,
-		run:      out,
+		runs:     []RunID{out},
 		Pages:    pages,
 		Tuples:   tuples,
 		Stats:    sorted.Stats,

@@ -1,12 +1,15 @@
 // Package simdeterminism enforces the property that makes "simulator
 // tables are byte-identical" a checkable claim instead of an aspiration:
 // the simulation packages (sim, simenv, diskmodel, cpumodel, experiments)
-// must not consult wall-clock time, draw from the process-global random
-// source, iterate maps in unspecified order, or spawn goroutines.
+// and the shared engine core must not consult wall-clock time, draw from
+// the process-global random source, iterate maps in unspecified order, or
+// spawn goroutines.
 //
 // Some machinery legitimately needs an escape hatch — the sim scheduler's
-// lock-step coroutine handoff is built on goroutines, and the experiments
-// driver fans independent simulations out to workers. Those sites carry a
+// lock-step coroutine handoff is built on goroutines, the experiments
+// driver fans independent simulations out to workers, and the core's
+// parallel worker crew (real engine only; the simulator never sets
+// SortConfig.Workers) is goroutines by definition. Those sites carry a
 // "//masortlint:allow simdeterminism -- reason" directive; the mandatory
 // justification is the audit trail.
 package simdeterminism
@@ -26,6 +29,11 @@ var simPackages = map[string]bool{
 	"diskmodel":   true,
 	"cpumodel":    true,
 	"experiments": true,
+	// core runs under the simulator too: everything it does on behalf of a
+	// simulated sort must stay deterministic. Its parallel path (goroutine
+	// crew) is gated on SortConfig.Workers, which the simulator never sets;
+	// each spawn site carries an allow directive recording that argument.
+	"core": true,
 }
 
 // randConstructors are the math/rand functions that build a seeded,

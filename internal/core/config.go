@@ -72,6 +72,14 @@ type SortConfig struct {
 	// NoCombine disables dynamic splitting's step-combining on memory
 	// growth (ablation).
 	NoCombine bool
+
+	// Workers is the number of goroutines the real engine may use for run
+	// generation and merging; 0 and 1 both mean serial execution. The
+	// parallel path additionally requires the Env's broker to implement
+	// ContextBroker (both real brokers do); otherwise the engine falls back
+	// to serial. The simulator never sets this — simulated sorts are always
+	// single-threaded, so its tables are unaffected.
+	Workers int
 }
 
 // DefaultConfig returns the paper's recommended algorithm, repl6,opt,split.

@@ -133,15 +133,35 @@ type Env struct {
 	// Trace optionally receives debug events.
 	Trace func(format string, args ...any)
 
+	// Worker tags events emitted through this Env with a 1-based parallel
+	// worker id; 0 (the default) marks the operator's own goroutine.
+	Worker int
+
+	// ShouldPause and WaitResume are the deterministic quiesce protocol for
+	// parallel workers: when the worker's share of the budget drops to zero
+	// (a Pool/Budget shrink arbitrated across the crew), ShouldPause turns
+	// true and the merge engine parks in WaitResume at its next output-page
+	// boundary — after flushing the partial page, dropping every input
+	// buffer and yielding its whole grant. Both are nil for serial
+	// execution and in the simulator.
+	ShouldPause func() bool
+	WaitResume  func() error
+
 	// stepSeq numbers merge steps within the operation (1-based); only the
 	// operator goroutine creates steps, so no synchronization is needed.
+	// Parallel worker Envs share one operation-wide counter via stepFn
+	// instead, so (Worker, Step) pairs stay unique within the operation.
 	stepSeq int
+	stepFn  func() int
 	// eventPanics counts OnEvent callbacks that panicked and were recovered.
 	eventPanics int
 }
 
 // nextStep hands out the next merge-step id.
 func (e *Env) nextStep() int {
+	if e.stepFn != nil {
+		return e.stepFn()
+	}
 	e.stepSeq++
 	return e.stepSeq
 }
@@ -232,6 +252,8 @@ func (e *Env) yieldAll() {
 
 // freeRuns releases runs abandoned by an aborted operation (best effort:
 // store errors during cleanup are dropped in favor of the original error).
+// Shared key-range clones only drop their buffers — the underlying run
+// belongs to the parallel merge coordinator.
 func freeRuns(e *Env, runs []*runInfo) {
 	for _, r := range runs {
 		if r == nil || r.freed {
@@ -239,6 +261,9 @@ func freeRuns(e *Env, runs []*runInfo) {
 		}
 		r.freed = true
 		r.drop()
+		if r.shared {
+			continue
+		}
 		_ = e.Store.Free(r.id)
 	}
 }

@@ -77,6 +77,10 @@ type Event struct {
 	// operation interleave under dynamic splitting, so matching
 	// start/done pairs need the id.
 	Step int
+	// Worker identifies the parallel worker that emitted the event,
+	// 1-based; 0 for events from the operator's own goroutine (all events
+	// of a serial operation).
+	Worker int
 	// Phase carries the phase name for EvPhase events.
 	Phase string
 }
@@ -103,6 +107,7 @@ func (e *Env) emitStep(kind EventKind, detail, step int, phase string) {
 		Granted: granted,
 		Detail:  detail,
 		Step:    step,
+		Worker:  e.Worker,
 		Phase:   phase,
 	})
 }

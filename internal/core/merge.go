@@ -199,6 +199,9 @@ func (m *mergeEngine) executeStep(st *mergeStep) error {
 		if err := m.e.ctxErr(); err != nil {
 			return err
 		}
+		if err := m.maybeQuiesce(st); err != nil {
+			return err
+		}
 		if err := m.adaptStatic(st); err != nil {
 			return err
 		}
@@ -344,6 +347,10 @@ func (m *mergeEngine) runDynamic(runs []*runInfo) (*runInfo, error) {
 		// Output-page boundary: cancellation is observed here. The whole
 		// step chain (splits in progress included) is released on abort.
 		if err := m.e.ctxErr(); err != nil {
+			m.releaseStep(m.active)
+			return nil, err
+		}
+		if err := m.maybeQuiesce(m.active); err != nil {
 			m.releaseStep(m.active)
 			return nil, err
 		}
@@ -767,7 +774,43 @@ func (m *mergeEngine) freeRun(r *runInfo) error {
 	}
 	r.freed = true
 	r.drop()
+	if r.shared {
+		// A key-range clone: the underlying run is owned by the parallel
+		// merge coordinator, which frees it once every worker is done.
+		return nil
+	}
 	return m.e.Store.Free(r.id)
+}
+
+// maybeQuiesce parks the engine when the parallel crew ordered this worker
+// to pause: a Pool/Budget shrink left the worker without a budget share, so
+// it must quiesce deterministically at the output-page boundary rather than
+// race its siblings for pages. The partial output page is flushed, every
+// input buffer of the current step is dropped and the whole grant is handed
+// back before parking; the pause is counted as a suspension. Serial
+// operations (and the simulator) have no pause hook and return immediately.
+func (m *mergeEngine) maybeQuiesce(st *mergeStep) error {
+	if m.e.ShouldPause == nil || !m.e.ShouldPause() {
+		return nil
+	}
+	if err := m.flushOut(st); err != nil {
+		return err
+	}
+	if err := m.waitOut(); err != nil {
+		return err
+	}
+	for _, r := range st.inputs {
+		r.drop()
+	}
+	m.invalidateHeap()
+	m.e.yieldAll()
+	m.st.Suspensions++
+	m.e.emit(EvSuspend, st.need(), "")
+	if err := m.e.WaitResume(); err != nil {
+		return err
+	}
+	m.e.emit(EvResume, st.need(), "")
+	return nil
 }
 
 // headEntry is one headHeap node: the run's current key cached beside the

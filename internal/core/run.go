@@ -25,6 +25,20 @@ type runInfo struct {
 	hiLoaded int        // high-water mark of loaded pages (re-read detection)
 	producer *mergeStep // step still appending to this run, nil when complete
 	freed    bool
+
+	// fences records the first key of every page as the split phase writes
+	// the run. The parallel merge uses them to partition runs by key range
+	// without reading them; runs handed to MergeExisting have none.
+	fences []Key
+
+	// shared marks a key-range clone of a run owned by the parallel merge
+	// coordinator: the engine must not free the underlying storage when the
+	// clone is consumed (the coordinator frees the run once every worker is
+	// done with it). bounded/hi limit the clone to keys < hi; the lower
+	// bound is applied once, by seeking (page, pos) past keys < lo.
+	shared  bool
+	bounded bool
+	hi      Key
 }
 
 // remainingPages estimates how much of the run is left to read — the metric
@@ -62,7 +76,19 @@ func (r *runInfo) refill() bool {
 		r.wsValid = false
 		return false
 	}
-	r.ws = r.bufs[0][r.pos]
+	rec := r.bufs[0][r.pos]
+	if r.bounded && rec.Key >= r.hi {
+		// The clone's key range is exhausted: everything from here on
+		// belongs to the next partition. Discard the residue so the run
+		// reads as consumed (the underlying storage is freed by the
+		// coordinator, not this reader).
+		r.bufs = nil
+		r.page = r.pages
+		r.pos = 0
+		r.wsValid = false
+		return false
+	}
+	r.ws = rec
 	r.wsValid = true
 	r.pos++
 	for len(r.bufs) > 0 && r.pos >= len(r.bufs[0]) {

@@ -3,12 +3,19 @@ package core
 import "fmt"
 
 // SortResult is the outcome of one external sort: the identity of the final
-// sorted run plus execution statistics.
+// sorted output plus execution statistics.
 type SortResult struct {
+	// Result is the first (often only) output run. Serial sorts always
+	// produce exactly one; see Segments.
 	Result RunID
-	Pages  int
-	Tuples int
-	Stats  SortStats
+	// Segments lists every output run in key order. A serial sort (and any
+	// simulated sort) has exactly one segment; a parallel key-partitioned
+	// merge produces up to Workers segments whose concatenation is the
+	// sorted output — value-identical to the serial result.
+	Segments []RunID
+	Pages    int
+	Tuples   int
+	Stats    SortStats
 }
 
 // MergeExisting merges already-sorted runs that live in e.Store into one
@@ -16,12 +23,16 @@ type SortResult struct {
 // — the merge phase of an external sort exposed on its own (useful for
 // compaction-style workloads). The input runs are consumed: they are freed
 // as the merge retires them. With a single input run, that run is returned
-// unchanged.
+// unchanged. With cfg.Workers > 1 the merge runs as a tree: disjoint run
+// groups merge in parallel, then one serial final merge (the result is
+// still a single run).
 func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := &SortStats{}
+	pw := effectiveWorkers(e, cfg)
+	st.Workers = pw
 	t0 := e.now()
 	// The inputs are consumed even on abort: a canceled merge frees them
 	// so nothing leaks (the engine owns them from the moment of the call).
@@ -51,9 +62,13 @@ func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
 		for i, id := range ids {
 			runs[i] = &runInfo{id: id, pages: e.Store.Pages(id)}
 		}
-		m := &mergeEngine{e: e, cfg: cfg, st: st}
 		var err error
-		result, err = m.mergeRuns(runs)
+		if pw > 1 && len(ids) >= 4 {
+			result, err = parallelTreeMerge(e, cfg, st, runs)
+		} else {
+			m := &mergeEngine{e: e, cfg: cfg, st: st}
+			result, err = m.mergeRuns(runs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -66,29 +81,41 @@ func MergeExisting(e *Env, cfg SortConfig, ids []RunID) (*SortResult, error) {
 		e.Mem.Yield(g)
 	}
 	return &SortResult{
-		Result: result.id,
-		Pages:  result.pages,
-		Tuples: result.tuples,
-		Stats:  *st,
+		Result:   result.id,
+		Segments: []RunID{result.id},
+		Pages:    result.pages,
+		Tuples:   result.tuples,
+		Stats:    *st,
 	}, nil
 }
 
-// ExternalSort sorts e.In under cfg, writing the final sorted run into
+// ExternalSort sorts e.In under cfg, writing the final sorted output into
 // e.Store. It adapts its memory usage to e.Mem throughout — the paper's
-// memory-adaptive external sort.
+// memory-adaptive external sort. With cfg.Workers > 1 (real engine only)
+// both phases run on a worker crew; the output is then a short ordered
+// sequence of segment runs (SortResult.Segments) whose concatenation is the
+// sorted result.
 func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := &SortStats{}
+	pw := effectiveWorkers(e, cfg)
+	st.Workers = pw
 	t0 := e.now()
 
 	if err := e.ctxErr(); err != nil {
 		return nil, err
 	}
-	runs, err := splitPhase(e, cfg, st)
+	var runs []*runInfo
+	var err error
+	if pw > 1 {
+		runs, err = parallelSplit(e, cfg, st)
+	} else {
+		runs, err = splitPhase(e, cfg, st)
+	}
 	if err != nil {
-		// splitPhase returns the runs produced before the error so an
+		// The split path returns the runs produced before the error so an
 		// aborted sort leaves no storage behind.
 		freeRuns(e, runs)
 		e.yieldAll()
@@ -98,7 +125,7 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 
 	e.setPhase("merge")
 	tm := e.now()
-	var result *runInfo
+	var segments []*runInfo
 	switch len(runs) {
 	case 0:
 		// Empty input still yields a (empty) result run.
@@ -106,17 +133,44 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		result = &runInfo{id: id}
+		segments = []*runInfo{{id: id}}
 	case 1:
-		result = runs[0]
+		segments = runs
 	default:
-		m := &mergeEngine{e: e, cfg: cfg, st: st}
-		result, err = m.mergeRuns(runs)
+		merged := false
+		if pw > 1 {
+			segs, ok, perr := parallelMerge(e, cfg, st, runs)
+			if perr != nil {
+				// The parallel merge freed the inputs and the workers'
+				// partial outputs on abort.
+				e.yieldAll()
+				return nil, perr
+			}
+			if ok {
+				segments = segs
+				merged = true
+			}
+		}
+		if !merged {
+			m := &mergeEngine{e: e, cfg: cfg, st: st}
+			result, err := m.mergeRuns(runs)
+			if err != nil {
+				// The merge engine frees its runs on abort.
+				e.yieldAll()
+				return nil, err
+			}
+			segments = []*runInfo{result}
+		}
+	}
+	if len(segments) == 0 {
+		// Defensive: a parallel merge of nonempty runs always yields at
+		// least one segment, but an all-empty partition set degenerates to
+		// an empty result run.
+		id, err := e.Store.Create()
 		if err != nil {
-			// The merge engine frees its runs on abort.
-			e.yieldAll()
 			return nil, err
 		}
+		segments = []*runInfo{{id: id}}
 	}
 	st.MergeDuration = e.now() - tm
 	st.Response = e.now() - t0
@@ -127,13 +181,21 @@ func ExternalSort(e *Env, cfg SortConfig) (*SortResult, error) {
 	if g := e.Mem.Granted(); g > 0 {
 		e.Mem.Yield(g)
 	}
-	if result.tuples != st.TuplesIn {
-		return nil, fmt.Errorf("core: sort lost tuples: in %d, out %d", st.TuplesIn, result.tuples)
+	pages, tuples := 0, 0
+	ids := make([]RunID, len(segments))
+	for i, s := range segments {
+		pages += s.pages
+		tuples += s.tuples
+		ids[i] = s.id
+	}
+	if tuples != st.TuplesIn {
+		return nil, fmt.Errorf("core: sort lost tuples: in %d, out %d", st.TuplesIn, tuples)
 	}
 	return &SortResult{
-		Result: result.id,
-		Pages:  result.pages,
-		Tuples: result.tuples,
-		Stats:  *st,
+		Result:   ids[0],
+		Segments: ids,
+		Pages:    pages,
+		Tuples:   tuples,
+		Stats:    *st,
 	}, nil
 }

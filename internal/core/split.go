@@ -48,7 +48,11 @@ func writeRun(e *Env, recs []Record, pageRecords int) (*runInfo, error) {
 		_ = e.Store.Free(id)
 		return nil, err
 	}
-	return &runInfo{id: id, pages: len(pages), tuples: countRecs(pages)}, nil
+	fences := make([]Key, len(pages))
+	for i, p := range pages {
+		fences[i] = p[0].Key
+	}
+	return &runInfo{id: id, pages: len(pages), tuples: countRecs(pages), fences: fences}, nil
 }
 
 // quickSplit implements the Quicksort split phase: fill all granted memory
@@ -265,6 +269,12 @@ func replSplit(e *Env, cfg SortConfig, st *SortStats) ([]*runInfo, error) {
 		}
 		outTok = tok
 		inFlight = pages
+		for _, p := range pages {
+			// Record the page fence before the buffer is recycled: the key is
+			// copied by value, so buffer reuse after the token completes is
+			// still safe.
+			cur.fences = append(cur.fences, p[0].Key)
+		}
 		cur.pages += len(pages)
 		cur.tuples += countRecs(pages)
 		st.RunPagesWritten += len(pages)

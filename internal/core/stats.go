@@ -41,6 +41,10 @@ type SortStats struct {
 	// MaxGranted tracks the high-water mark of pages held.
 	MaxGranted int
 
+	// Workers is the number of goroutines the operation executed with
+	// (1 for serial execution, including every simulated sort).
+	Workers int
+
 	// Store I/O aggregates, filled by the host: completed read requests and
 	// append batches against the run store, their encoded byte totals, and
 	// their summed issue-to-completion latencies. The real engine measures

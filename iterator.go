@@ -50,8 +50,12 @@ type PageToken = core.PageToken
 //     ErrStoreFailed, and subsequent Appends and reads on the run are
 //     refused. Reads must never return wrong data: a page that cannot be
 //     read back verbatim surfaces ErrCorruptPage.
-//   - All calls for one run come from one goroutine at a time, but
-//     different runs are used concurrently; Free may race with in-flight
+//   - Writes to one run (Create/Append and the appends' token waits) come
+//     from one goroutine at a time; different runs are written
+//     concurrently. Reads are more permissive: a run that is no longer
+//     being appended to may be read by several goroutines at once — a
+//     parallel merge (WithWorkers) hands key-range clones of the same
+//     completed run to different workers. Free may race with in-flight
 //     reads of the same run (they may then fail, but must not deliver
 //     wrong data, panic or deadlock).
 type RunStore = core.RunStore

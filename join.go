@@ -46,7 +46,7 @@ func Join(ctx context.Context, left, right Iterator, opts ...Option) (*Result, e
 	ot.finishStats(&js.SortStats, ts)
 	out := &Result{
 		store:    o.Store,
-		run:      res.Result,
+		runs:     []RunID{res.Result},
 		Pages:    res.Pages,
 		Tuples:   res.Tuples,
 		Stats:    js.SortStats,

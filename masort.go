@@ -82,6 +82,14 @@ type Options struct {
 	// multi-page read-ahead (the paper's §7 future-work extension).
 	AdaptiveBlockIO bool
 
+	// Workers is the number of goroutines the operator may use for run
+	// generation and merging; 0 and 1 both mean serial execution. Set it
+	// through WithWorkers, which also resolves the use-all-cores default.
+	// This is the single CPU-parallelism knob — budget arbitration across
+	// the workers stays with Budget/Pool, which the crew subdivides
+	// deterministically.
+	Workers int
+
 	// OnEvent, if set, receives adaptation events (phase changes, step
 	// splits, combines, suspensions) as they happen — the observable
 	// history of how the operator reacted to budget changes. The callback
@@ -139,6 +147,7 @@ func (o Options) build() (core.SortConfig, Options, error) {
 		return cfg, o, fmt.Errorf("masort: unknown adaptation %d", o.Adaptation)
 	}
 	cfg.AdaptiveBlockIO = o.AdaptiveBlockIO
+	cfg.Workers = o.Workers
 	if o.Budget == nil {
 		o.Budget = NewBudget(64)
 	}
@@ -280,7 +289,7 @@ func sortNamed(ctx context.Context, input Iterator, opt Options, opName string) 
 	}
 	out := &Result{
 		store:    o.Store,
-		run:      res.Result,
+		runs:     res.Segments,
 		Pages:    res.Pages,
 		Tuples:   res.Tuples,
 		Stats:    res.Stats,

@@ -110,7 +110,7 @@ func Merge(ctx context.Context, store RunStore, ids []RunID, opts ...Option) (*R
 	}
 	out := &Result{
 		store:    o.Store,
-		run:      res.Result,
+		runs:     []RunID{res.Result},
 		Pages:    res.Pages,
 		Tuples:   res.Tuples,
 		Stats:    res.Stats,

@@ -320,11 +320,22 @@ func TestTraceOrderingUnderFluctuation(t *testing.T) {
 		c := &collectTracer{}
 		pool := NewPool(32, WithPoolTracer(c))
 		done := make(chan struct{})
+		// The churn goroutine must not Resize before the sort has emitted
+		// op_begin, or the pool_resize trace event would be collected first
+		// and checkOpStream's ordering assertion would trip on a race that
+		// is the test's own, not the engine's.
+		started := make(chan struct{})
+		var startOnce sync.Once
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(5, 5))
+			select {
+			case <-started:
+			case <-done:
+				return
+			}
 			for {
 				select {
 				case <-done:
@@ -338,7 +349,10 @@ func TestTraceOrderingUnderFluctuation(t *testing.T) {
 		}()
 		in := randomRecords(80_000, 43, 0)
 		res, err := Sort(ctx, NewSliceIterator(in),
-			WithPageRecords(64), WithPool(pool), WithTracer(c))
+			WithPageRecords(64), WithPool(pool), WithTracer(c),
+			WithEvents(func(Event) {
+				startOnce.Do(func() { close(started) })
+			}))
 		close(done)
 		wg.Wait()
 		if err != nil {

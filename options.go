@@ -1,5 +1,7 @@
 package masort
 
+import "runtime"
+
 // Option configures Sort, Join, GroupBy and Merge. Options compose left to
 // right; later options override earlier ones.
 type Option func(*Options)
@@ -60,14 +62,43 @@ func WithAdaptiveBlockIO(on bool) Option {
 	return func(o *Options) { o.AdaptiveBlockIO = on }
 }
 
+// WithWorkers sets how many goroutines the operator may use for run
+// generation and merging — the single CPU-parallelism option. n = 0 means
+// "use every core" (runtime.GOMAXPROCS(0), resolved when the option is
+// applied); n <= 1 means serial execution, the default.
+//
+// Parallelism changes neither the output nor the memory contract: the
+// result is value-identical to a serial sort of the same input, and the
+// workers collectively never hold more than the Budget/Pool target — a
+// Shrink propagates to every worker at its next page boundary, pausing
+// workers the shrunken budget can no longer sustain (at least one always
+// keeps merging). A parallel sort may return its output as several
+// key-partitioned segment runs; Result.Iterator chains them transparently
+// and Result.Close frees them all. Stats.Workers reports the worker count
+// used. The simulator ignores parallelism entirely — simulated sorts are
+// defined to be single-threaded.
+func WithWorkers(n int) Option {
+	return func(o *Options) {
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n < 1 {
+			n = 1
+		}
+		o.Workers = n
+	}
+}
+
 // WithEvents installs a callback receiving adaptation events (phase
 // changes, step splits, combines, suspensions) as they happen.
 //
-// Concurrency contract: the engine invokes the callback sequentially, on
-// the operator's own goroutine — never concurrently with itself for one
-// operator. A callback shared across operators (a pooled workload) must be
-// safe for concurrent use, since each operator invokes its own copy of the
-// stream. The callback must be fast — it runs inside the sort's adaptation
+// Concurrency contract: the engine invokes the callback sequentially —
+// never concurrently with itself for one operator. A serial operator calls
+// it on its own goroutine; a parallel one (WithWorkers) serializes worker
+// events through a mutex, so calls may arrive on worker goroutines
+// (Event.Worker says which). A callback shared across operators (a pooled
+// workload) must be safe for concurrent use, since each operator invokes
+// its own copy of the stream. The callback must be fast — it runs inside the sort's adaptation
 // path. A panicking callback is recovered and counted in
 // Stats.EventPanics; it never corrupts the operation.
 func WithEvents(fn func(Event)) Option {

@@ -12,7 +12,11 @@ import (
 // result must not be iterated.
 type Result struct {
 	store RunStore
-	run   RunID
+	// runs holds the output in key order. Serial operators produce exactly
+	// one run; a parallel sort (WithWorkers) may produce up to Workers
+	// key-partitioned segments whose concatenation is the sorted output.
+	// Iterator chains them transparently; Close frees them all.
+	runs []RunID
 
 	// Pages and Tuples size the output run.
 	Pages  int
@@ -62,7 +66,36 @@ func (r *Result) Iterator() Iterator {
 			return Record{}, false, ErrFreed
 		})
 	}
-	return &runIterator{store: r.store, id: r.run, pages: r.Pages}
+	if len(r.runs) == 1 {
+		return &runIterator{store: r.store, id: r.runs[0], pages: r.Pages}
+	}
+	return &segmentsIterator{store: r.store, runs: r.runs}
+}
+
+// segmentsIterator chains the per-segment run iterators of a parallel
+// result in key order.
+type segmentsIterator struct {
+	store RunStore
+	runs  []RunID
+	cur   *runIterator
+}
+
+func (s *segmentsIterator) Next() (Record, bool, error) {
+	for {
+		if s.cur == nil {
+			if len(s.runs) == 0 {
+				return Record{}, false, nil
+			}
+			id := s.runs[0]
+			s.runs = s.runs[1:]
+			s.cur = &runIterator{store: s.store, id: id, pages: s.store.Pages(id)}
+		}
+		rec, ok, err := s.cur.Next()
+		if err != nil || ok {
+			return rec, ok, err
+		}
+		s.cur = nil
+	}
 }
 
 // All returns the output records as a range-over-func sequence:
@@ -77,14 +110,21 @@ func (r *Result) All() iter.Seq2[Record, error] {
 	return All(r.Iterator())
 }
 
-// Close releases the result run's storage. The Result must not be iterated
-// afterwards; a second Close returns ErrFreed.
+// Close releases the result's storage (every segment of a parallel result).
+// The Result must not be iterated afterwards; a second Close returns
+// ErrFreed.
 func (r *Result) Close() error {
 	if r.freed {
 		return ErrFreed
 	}
 	r.freed = true
-	return r.store.Free(r.run)
+	var first error
+	for _, id := range r.runs {
+		if err := r.store.Free(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Free releases the result run's storage.

@@ -58,6 +58,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("EmptyAppend", func(t *testing.T) { testEmptyAppend(t, cfg) })
 	t.Run("FreeWithReadsInFlight", func(t *testing.T) { testFreeInFlight(t, cfg) })
 	t.Run("ConcurrentRuns", func(t *testing.T) { testConcurrentRuns(t, cfg) })
+	t.Run("ConcurrentReadersOneRun", func(t *testing.T) { testConcurrentReaders(t, cfg) })
 	t.Run("AbortLeakFree", func(t *testing.T) { testAbortLeakFree(t, cfg) })
 	if cfg.NewFaulty == nil {
 		t.Run("Faults", func(t *testing.T) {
@@ -328,6 +329,78 @@ func testFreeInFlight(t *testing.T, cfg Config) {
 // testConcurrentRuns drives several runs from separate goroutines — the
 // store's documented concurrency model (one run per goroutine, many runs at
 // once).
+// testConcurrentReaders checks the read side of the concurrency contract: a
+// run that is no longer being appended to may be read by several goroutines
+// at once, each scanning its own (overlapping) page range — exactly how a
+// parallel merge (masort.WithWorkers) hands key-range clones of one
+// completed run to different workers.
+func testConcurrentReaders(t *testing.T, cfg Config) {
+	s := cfg.New(t)
+	const npages = 24
+	id, err := s.Create()
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	batch := mkPages(7, npages, 4)
+	golden := clonePages(batch)
+	appendWait(t, s, id, batch)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Overlapping ranges with different phases, several passes, and
+			// one page of read-ahead in flight like the engine keeps.
+			lo, hi := w*(npages/readers)/2, npages
+			for pass := 0; pass < 3; pass++ {
+				for p := lo; p < hi; p++ {
+					tok := s.ReadAsync(id, p)
+					var ahead masort.PageToken
+					if p+1 < hi {
+						ahead = s.ReadAsync(id, p+1)
+					}
+					pg, err := tok.Wait()
+					if err != nil {
+						select {
+						case errs <- fmt.Errorf("reader %d pass %d page %d: %v", w, pass, p, err):
+						default:
+						}
+						return
+					}
+					if len(pg) != len(golden[p]) || pg[0].Key != golden[p][0].Key ||
+						string(pg[0].Payload) != string(golden[p][0].Payload) {
+						select {
+						case errs <- fmt.Errorf("reader %d pass %d page %d: wrong content", w, pass, p):
+						default:
+						}
+						return
+					}
+					if ahead != nil {
+						if _, err := ahead.Wait(); err != nil {
+							select {
+							case errs <- fmt.Errorf("reader %d pass %d read-ahead %d: %v", w, pass, p+1, err):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.Free(id); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+}
+
 func testConcurrentRuns(t *testing.T, cfg Config) {
 	s := cfg.New(t)
 	const workers = 4
